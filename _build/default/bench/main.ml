@@ -1,0 +1,282 @@
+(* Benchmark harness: micro-benchmarks (Bechamel) for the paper's
+   per-mechanism claims, then the full figure harness (Figure 3
+   measured; Figures 4, 5, 7, 8 simulated from calibrated costs).
+
+   Run with:  dune exec bench/main.exe            (full: a few minutes)
+              dune exec bench/main.exe -- quick   (reduced calibration)  *)
+
+open Bechamel
+open Toolkit
+open Triolet
+module Kern = Triolet_kernels
+module E = Triolet_baselines.Eden_list
+module Codec = Triolet_base.Codec
+
+let () = Triolet_runtime.Pool.set_default_width 2
+
+let () =
+  Config.set_cluster
+    { Triolet_runtime.Cluster.nodes = 4; cores_per_node = 2; flat = false }
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark definitions                                         *)
+
+let n_dot = 50_000
+
+let xs = Float.Array.init n_dot (fun i -> float_of_int (i mod 91) /. 91.0)
+let ys = Float.Array.init n_dot (fun i -> float_of_int (i mod 53) /. 53.0)
+
+(* Section 2's dot product: the fused iterator pipeline vs materializing
+   every intermediate vs the hand-written loop. *)
+let bench_dot =
+  let fused () =
+    Iter.sum
+      (Iter.map (fun (x, y) -> x *. y)
+         (Iter.zip (Iter.of_floatarray xs) (Iter.of_floatarray ys)))
+  in
+  let materialized () =
+    (* what zip/map would cost if each skeleton produced an array *)
+    let zipped =
+      Array.init n_dot (fun i -> (Float.Array.get xs i, Float.Array.get ys i))
+    in
+    let products = Array.map (fun (x, y) -> x *. y) zipped in
+    Array.fold_left ( +. ) 0.0 products
+  in
+  let imperative () =
+    let acc = ref 0.0 in
+    for i = 0 to n_dot - 1 do
+      acc := !acc +. (Float.Array.unsafe_get xs i *. Float.Array.unsafe_get ys i)
+    done;
+    !acc
+  in
+  Test.make_grouped ~name:"dot"
+    [
+      Test.make ~name:"iterators-fused" (Staged.stage fused);
+      Test.make ~name:"materialized" (Staged.stage materialized);
+      Test.make ~name:"imperative" (Staged.stage imperative);
+    ]
+
+(* Figure 1's "slow" cell: nested traversal through steppers vs folds vs
+   a plain loop nest. *)
+let bench_nested =
+  let n = 300 in
+  let stepper () =
+    Stepper.sum_int
+      (Stepper.concat_map (fun k -> Stepper.range 0 k) (Stepper.range 0 n))
+  in
+  let folder () =
+    Folder.sum_int
+      (Folder.concat_map (fun k -> Folder.range 0 k) (Folder.range 0 n))
+  in
+  let loop () =
+    let acc = ref 0 in
+    for k = 0 to n - 1 do
+      for i = 0 to k - 1 do
+        acc := !acc + i
+      done
+    done;
+    !acc
+  in
+  Test.make_grouped ~name:"nested-traversal"
+    [
+      Test.make ~name:"stepper" (Staged.stage stepper);
+      Test.make ~name:"fold" (Staged.stage folder);
+      Test.make ~name:"loop" (Staged.stage loop);
+    ]
+
+(* Section 3.4's block-copy serialization of pointer-free arrays vs
+   per-element encoding of boxed structures. *)
+let bench_serialize =
+  let fa = Float.Array.make 8192 3.14 in
+  let boxed = Array.init 8192 (fun i -> (i, 3.14)) in
+  let block () = Codec.to_bytes Codec.floatarray fa in
+  let element () =
+    Codec.to_bytes (Codec.array (Codec.pair Codec.int Codec.float)) boxed
+  in
+  Test.make_grouped ~name:"serialize-64KiB"
+    [
+      Test.make ~name:"floatarray-block" (Staged.stage block);
+      Test.make ~name:"boxed-elementwise" (Staged.stage element);
+    ]
+
+(* Histogramming through a collector (per-task private mutation) vs a
+   boxed list pipeline. *)
+let bench_histogram =
+  let n = 20_000 in
+  let coll () =
+    Iter.histogram ~bins:64 (Iter.map (fun i -> i * 7 mod 64) (Iter.range 0 n))
+  in
+  let list () =
+    E.histogram ~bins:64 (E.map (fun i -> i * 7 mod 64) (List.init n Fun.id))
+  in
+  Test.make_grouped ~name:"histogram"
+    [
+      Test.make ~name:"iter-collector" (Staged.stage coll);
+      Test.make ~name:"eden-list" (Staged.stage list);
+    ]
+
+(* Figure 3 in micro form: the three styles of each kernel on small
+   instances (the measured full-size table is printed below). *)
+let bench_kernels =
+  let mriq_d = Kern.Dataset.mriq ~seed:5 ~samples:96 ~voxels:128 in
+  let a, b = Kern.Dataset.sgemm_matrices ~seed:6 ~m:48 ~k:48 ~n:48 in
+  let tp = Kern.Dataset.tpacf ~seed:7 ~points:96 ~random_sets:1 in
+  let cc =
+    Kern.Dataset.cutcp ~seed:8 ~atoms:96 ~nx:16 ~ny:16 ~nz:16 ~spacing:0.5
+      ~cutoff:2.0
+  in
+  Test.make_grouped ~name:"kernels"
+    [
+      Test.make_grouped ~name:"mri-q"
+        [
+          Test.make ~name:"c" (Staged.stage (fun () -> Kern.Mriq.run_c mriq_d));
+          Test.make ~name:"triolet"
+            (Staged.stage (fun () ->
+                 Kern.Mriq.run_triolet ~hint:Iter.sequential mriq_d));
+          Test.make ~name:"eden"
+            (Staged.stage (fun () -> Kern.Mriq.run_eden mriq_d));
+        ];
+      Test.make_grouped ~name:"sgemm"
+        [
+          Test.make ~name:"c" (Staged.stage (fun () -> Kern.Sgemm.run_c a b));
+          Test.make ~name:"triolet"
+            (Staged.stage (fun () ->
+                 Kern.Sgemm.run_triolet ~hint:Iter2.sequential a b));
+          Test.make ~name:"eden"
+            (Staged.stage (fun () -> Kern.Sgemm.run_eden a b));
+        ];
+      Test.make_grouped ~name:"tpacf"
+        [
+          Test.make ~name:"c"
+            (Staged.stage (fun () -> Kern.Tpacf.run_c ~bins:16 tp));
+          Test.make ~name:"triolet"
+            (Staged.stage (fun () ->
+                 Config.with_cluster
+                   { Triolet_runtime.Cluster.nodes = 1; cores_per_node = 1;
+                     flat = false }
+                   (fun () -> Kern.Tpacf.run_triolet ~bins:16 tp)));
+          Test.make ~name:"eden"
+            (Staged.stage (fun () -> Kern.Tpacf.run_eden ~bins:16 tp));
+        ];
+      Test.make_grouped ~name:"cutcp"
+        [
+          Test.make ~name:"c" (Staged.stage (fun () -> Kern.Cutcp.run_c cc));
+          Test.make ~name:"triolet"
+            (Staged.stage (fun () ->
+                 Kern.Cutcp.run_triolet ~hint:Iter.sequential cc));
+          Test.make ~name:"eden"
+            (Staged.stage (fun () -> Kern.Cutcp.run_eden cc));
+        ];
+    ]
+
+(* Zip fusion: the zip3 pipeline against hand-zipped loops. *)
+let bench_zip =
+  let n = 20_000 in
+  let a = Float.Array.init n (fun i -> float_of_int i) in
+  let b = Float.Array.init n (fun i -> float_of_int (i * 2)) in
+  let c = Float.Array.init n (fun i -> float_of_int (i * 3)) in
+  let fused () =
+    Iter.sum
+      (Iter.map
+         (fun (x, y, z) -> x +. (y *. z))
+         (Iter.zip3 (Iter.of_floatarray a) (Iter.of_floatarray b)
+            (Iter.of_floatarray c)))
+  in
+  let manual () =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc :=
+        !acc
+        +. Float.Array.unsafe_get a i
+        +. (Float.Array.unsafe_get b i *. Float.Array.unsafe_get c i)
+    done;
+    !acc
+  in
+  Test.make_grouped ~name:"zip3"
+    [
+      Test.make ~name:"iterators" (Staged.stage fused);
+      Test.make ~name:"manual-loop" (Staged.stage manual);
+    ]
+
+(* cutcp formulated as scatter (paper's CPU code) vs gather (the
+   GPU-style Dim3 variant). *)
+let bench_cutcp_direction =
+  let box =
+    Kern.Dataset.cutcp ~seed:9 ~atoms:64 ~nx:12 ~ny:12 ~nz:12 ~spacing:0.5
+      ~cutoff:1.8
+  in
+  Test.make_grouped ~name:"cutcp-direction"
+    [
+      Test.make ~name:"scatter"
+        (Staged.stage (fun () ->
+             Kern.Cutcp.run_triolet ~hint:Iter.sequential box));
+      Test.make ~name:"gather-3d"
+        (Staged.stage (fun () ->
+             Kern.Cutcp.run_gather ~hint:Iter3.sequential box));
+      Test.make ~name:"scatter-c" (Staged.stage (fun () -> Kern.Cutcp.run_c box));
+    ]
+
+(* Payload shipping: the end-to-end cost of moving a slice across a
+   node boundary (serialize + copy + decode). *)
+let bench_payload =
+  let small = [ Triolet_base.Payload.Floats (Float.Array.make 512 1.0) ] in
+  let large = [ Triolet_base.Payload.Floats (Float.Array.make 65536 1.0) ] in
+  Test.make_grouped ~name:"payload-ship"
+    [
+      Test.make ~name:"4KiB"
+        (Staged.stage (fun () -> Triolet_base.Payload.ship small));
+      Test.make ~name:"512KiB"
+        (Staged.stage (fun () -> Triolet_base.Payload.ship large));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+
+let run_group test =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        let ns =
+          match Analyze.OLS.estimates o with Some (x :: _) -> x | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square o) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns, r2) ->
+      Printf.printf "  %-36s %14.1f ns/run   (r2 %.3f)\n" name ns r2)
+    rows
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
+  print_endline "\n-- loop fusion: dot product (paper section 2) --";
+  run_group bench_dot;
+  print_endline "\n-- nested traversal encodings (Figure 1 'slow' cell) --";
+  run_group bench_nested;
+  print_endline "\n-- serialization: block copy vs element-wise (section 3.4) --";
+  run_group bench_serialize;
+  print_endline "\n-- histogramming: collector vs boxed list --";
+  run_group bench_histogram;
+  print_endline "\n-- zip fusion --";
+  run_group bench_zip;
+  print_endline "\n-- cutcp scatter vs gather (Dim3) --";
+  run_group bench_cutcp_direction;
+  print_endline "\n-- payload shipping (serialize + copy + decode) --";
+  run_group bench_payload;
+  print_endline "\n-- kernel styles on micro instances (Figure 3 in miniature) --";
+  run_group bench_kernels;
+  print_endline "\n== Figures (Figure 3 measured; 4, 5, 7, 8 simulated) ==";
+  let scale = if quick then 0.25 else 1.0 in
+  ignore (Triolet_harness.Figures.all ~scale ())

@@ -1,0 +1,254 @@
+(* triolet: command-line driver for the reproduction.
+
+   Subcommands regenerate individual paper figures, run the kernel
+   agreement checks, and demo the distributed runtime with byte
+   accounting. *)
+
+open Cmdliner
+module Figures = Triolet_harness.Figures
+module Stats = Triolet_runtime.Stats
+module Cluster = Triolet_runtime.Cluster
+
+let verbose_arg =
+  let doc = "Enable debug logging of the runtime (chunks, messages)." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let scale_arg =
+  let doc =
+    "Scale factor for the measured (Figure 3 / calibration) instances. \
+     1.0 takes a few CPU-minutes; 0.5 is a quick look."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let measured_arg =
+  let doc =
+    "Calibrate the simulator with the efficiency ratios measured on this \
+     machine (Figure 3 styles) instead of the paper's reported ratios."
+  in
+  Arg.(value & flag & info [ "measured" ] ~doc)
+
+let tsv_arg =
+  let doc = "Also write the figure's speedup series as TSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "tsv" ] ~docv:"FILE" ~doc)
+
+let write_tsv tsv series =
+  match tsv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Figures.series_to_tsv series);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+let with_ctx scale measured f =
+  let ctx = Figures.make_context ~scale ~measured_efficiency:measured () in
+  f ctx;
+  0
+
+let fig_cmd =
+  let figure =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("1", `F1); ("3", `F3); ("4", `F4); ("5", `F5);
+                            ("7", `F7); ("8", `F8) ])) None
+      & info [] ~docv:"FIGURE" ~doc:"Figure number: 1, 3, 4, 5, 7 or 8.")
+  in
+  let run figure scale measured tsv =
+    match figure with
+    | `F1 ->
+        Figures.fig1 ();
+        0
+    | `F3 -> with_ctx scale measured (fun ctx -> ignore (Figures.fig3 ctx))
+    | `F4 ->
+        with_ctx scale measured (fun ctx -> write_tsv tsv (Figures.fig4 ctx))
+    | `F5 ->
+        with_ctx scale measured (fun ctx -> write_tsv tsv (Figures.fig5 ctx))
+    | `F7 ->
+        with_ctx scale measured (fun ctx -> write_tsv tsv (Figures.fig7 ctx))
+    | `F8 ->
+        with_ctx scale measured (fun ctx -> write_tsv tsv (Figures.fig8 ctx))
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate one figure of the paper's evaluation")
+    Term.(const run $ figure $ scale_arg $ measured_arg $ tsv_arg)
+
+let summary_cmd =
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:"Headline claims: Triolet vs C and vs sequential C at 128 cores")
+    Term.(
+      const (fun scale measured ->
+          with_ctx scale measured (fun ctx -> ignore (Figures.summary ctx)))
+      $ scale_arg $ measured_arg)
+
+let ablation_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("gc", `Gc); ("slicing", `Slicing); ("twolevel", `Twolevel);
+                  ("scheduling", `Scheduling); ("gather", `Gather) ]))
+          None
+      & info [] ~docv:"NAME"
+          ~doc:"One of: gc, slicing, twolevel, scheduling, gather.")
+  in
+  let run which scale measured =
+    with_ctx scale measured (fun ctx ->
+        match which with
+        | `Gc -> ignore (Figures.ablation_gc ctx)
+        | `Slicing -> Figures.ablation_slicing ctx
+        | `Twolevel -> Figures.ablation_twolevel ctx
+        | `Scheduling -> Figures.ablation_scheduling ctx
+        | `Gather -> Figures.ablation_gather ctx)
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run one design-choice ablation")
+    Term.(const run $ which $ scale_arg $ measured_arg)
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure, the summary and all ablations")
+    Term.(
+      const (fun scale measured ->
+          ignore (Figures.all ~scale ~measured_efficiency:measured ());
+          0)
+      $ scale_arg $ measured_arg)
+
+(* Single-configuration simulation with a phase breakdown. *)
+let sim_cmd =
+  let kernel =
+    Arg.(
+      required
+      & opt (some (enum [ ("mri-q", "mri-q"); ("sgemm", "sgemm");
+                          ("tpacf", "tpacf"); ("cutcp", "cutcp") ])) None
+      & info [ "kernel" ] ~docv:"K" ~doc:"One of: mri-q, sgemm, tpacf, cutcp.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (enum [ ("triolet", `Triolet); ("eden", `Eden); ("cmpi", `Cmpi) ])
+          `Triolet
+      & info [ "profile" ] ~docv:"P" ~doc:"triolet, eden or cmpi.")
+  in
+  let nodes = Arg.(value & opt int 8 & info [ "nodes" ] ~doc:"Cluster nodes.") in
+  let cores =
+    Arg.(value & opt int 16 & info [ "cores" ] ~doc:"Cores per node.")
+  in
+  let run kernel profile nodes cores scale measured =
+    let module Sched = Triolet_sim.Sched_sim in
+    let module App = Triolet_sim.App_model in
+    let module Table = Triolet_harness.Table in
+    let ctx = Figures.make_context ~scale ~measured_efficiency:measured () in
+    let app = Figures.model_of ctx kernel in
+    let p =
+      match profile with
+      | `Triolet -> List.nth (Figures.profiles ctx) 1
+      | `Eden -> List.nth (Figures.profiles ctx) 2
+      | `Cmpi -> List.nth (Figures.profiles ctx) 0
+    in
+    let m = { Sched.nodes; cores_per_node = cores } in
+    (match Sched.run app p m with
+    | Sched.Failed msg -> Printf.printf "FAILED: %s\n" msg
+    | Sched.Completed b ->
+        let seq = App.sequential_time app in
+        Printf.printf "%s on %s, %d nodes x %d cores\n" kernel
+          p.Triolet_sim.Profile.name nodes cores;
+        Table.print
+          [
+            [ "phase"; "value" ];
+            [ "sequential reference"; Table.seconds seq ];
+            [ "total"; Table.seconds b.Sched.total ];
+            [ "speedup"; Table.f1 (seq /. b.Sched.total) ];
+            [ "setup (e.g. transpose)"; Table.seconds b.Sched.setup_time ];
+            [ "last input delivered"; Table.seconds b.Sched.scatter_done ];
+            [ "last worker finished"; Table.seconds b.Sched.compute_done ];
+            [ "bytes scattered"; Table.bytes b.Sched.bytes_scattered ];
+            [ "bytes gathered"; Table.bytes b.Sched.bytes_gathered ];
+            [ "time attributed to GC"; Table.seconds b.Sched.gc_time ];
+          ]);
+    0
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Simulate one kernel/profile/machine configuration with a phase breakdown")
+    Term.(const run $ kernel $ profile $ nodes $ cores $ scale_arg $ measured_arg)
+
+(* Kernel agreement self-check: the three styles must agree. *)
+let verify_cmd =
+  let run () =
+    let times = Triolet_harness.Calibrate.run_fig3 ~scale:0.25 () in
+    List.iter
+      (fun t ->
+        Printf.printf "%-6s styles agree (C %s, Triolet %s, Eden %s)\n"
+          t.Triolet_harness.Calibrate.kernel
+          (Triolet_harness.Table.seconds t.Triolet_harness.Calibrate.c_time)
+          (Triolet_harness.Table.seconds t.Triolet_harness.Calibrate.triolet_time)
+          (Triolet_harness.Table.seconds t.Triolet_harness.Calibrate.eden_time))
+      times;
+    print_endline "all kernels verified";
+    0
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check that the C, Triolet and Eden styles of all four kernels agree")
+    Term.(const run $ const ())
+
+(* Distributed-runtime demo with byte accounting. *)
+let demo_cmd =
+  let run nodes cores flat verbose =
+    setup_logs verbose;
+    Triolet.Config.set_cluster { Cluster.nodes; cores_per_node = cores; flat };
+    let n = 1_000_000 in
+    let xs = Float.Array.init n (fun i -> float_of_int (i mod 1000) /. 1000.0) in
+    let ys = Float.Array.init n (fun i -> float_of_int ((i + 17) mod 1000) /. 1000.0) in
+    Stats.reset ();
+    let dot, delta =
+      Stats.measure (fun () ->
+          Triolet.Iter.sum
+            (Triolet.Iter.map
+               (fun (x, y) -> x *. y)
+               (Triolet.Iter.zip
+                  (Triolet.Iter.par (Triolet.Iter.of_floatarray xs))
+                  (Triolet.Iter.of_floatarray ys))))
+    in
+    Printf.printf
+      "dot product of 2 x %d floats on a %dx%d %s cluster = %.4f\n" n nodes
+      cores
+      (if flat then "flat" else "two-level")
+      dot;
+    Printf.printf "messages: %d   bytes moved: %s   chunks: %d   steals: %d\n"
+      delta.Stats.messages
+      (Triolet_harness.Table.bytes delta.Stats.bytes_sent)
+      delta.Stats.chunks_run delta.Stats.steals;
+    0
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster nodes.") in
+  let cores =
+    Arg.(value & opt int 2 & info [ "cores" ] ~doc:"Cores per node.")
+  in
+  let flat =
+    Arg.(value & flag & info [ "flat" ] ~doc:"Flat (Eden-style) distribution.")
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Distributed dot product on the in-process cluster, with byte accounting")
+    Term.(const run $ nodes $ cores $ flat $ verbose_arg)
+
+let () =
+  let info =
+    Cmd.info "triolet" ~version:"1.0.0"
+      ~doc:"Reproduction of Triolet (PPoPP 2014): figures, ablations, demos"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            fig_cmd; summary_cmd; ablation_cmd; all_cmd; verify_cmd; demo_cmd;
+            sim_cmd;
+          ]))

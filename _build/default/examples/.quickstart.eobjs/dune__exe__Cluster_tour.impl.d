@@ -1,0 +1,1 @@
+examples/cluster_tour.ml: Config Float Iter List Printf Triolet Triolet_runtime

@@ -1,0 +1,1 @@
+examples/comprehensions.ml: Array Config Iter List Printf Seq_iter Triolet Triolet_runtime

@@ -1,0 +1,1 @@
+examples/correlation.ml: Array Config Dataset Printf Tpacf Triolet Triolet_kernels Triolet_runtime

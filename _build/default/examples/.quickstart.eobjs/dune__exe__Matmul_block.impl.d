@@ -1,0 +1,1 @@
+examples/matmul_block.ml: Config Iter2 Matrix Printf Triolet Triolet_base Triolet_runtime

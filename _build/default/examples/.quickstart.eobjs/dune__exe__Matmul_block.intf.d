@@ -1,0 +1,1 @@
+examples/matmul_block.mli:

@@ -1,0 +1,1 @@
+examples/potential_grid.ml: Config Cutcp Dataset Float Iter Printf Triolet Triolet_kernels Triolet_runtime

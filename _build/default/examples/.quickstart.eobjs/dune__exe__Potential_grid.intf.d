@@ -1,0 +1,1 @@
+examples/potential_grid.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Float Iter Printf Seq_iter Triolet Triolet_runtime

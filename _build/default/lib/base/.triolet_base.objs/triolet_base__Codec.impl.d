@@ -1,0 +1,1 @@
+lib/base/codec.ml: Array Float List Rw String

@@ -1,0 +1,1 @@
+lib/base/codec.mli: Bytes Rw

@@ -1,0 +1,1 @@
+lib/base/payload.ml: Bytes Codec Rw

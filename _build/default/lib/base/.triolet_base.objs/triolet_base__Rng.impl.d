@@ -1,0 +1,1 @@
+lib/base/rng.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/base/rw.ml: Bytes Char Float Int64 String

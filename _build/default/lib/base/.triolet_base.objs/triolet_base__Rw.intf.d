@@ -1,0 +1,1 @@
+lib/base/rw.mli: Bytes

@@ -1,0 +1,1 @@
+lib/base/vec.ml: Array

@@ -1,0 +1,66 @@
+(** Composable serialization codecs.
+
+    Triolet's compiler generates serialization code from algebraic data
+    type definitions (paper, section 3.4); this module provides the
+    equivalent as combinators.  A ['a t] couples an encoder, a decoder,
+    and an exact wire-size function used for byte accounting by the
+    cluster runtime and the simulator. *)
+
+type 'a t = {
+  encode : Rw.writer -> 'a -> unit;
+  decode : Rw.reader -> 'a;
+  size : 'a -> int;  (** exact encoded size, without encoding *)
+}
+
+val make :
+  encode:(Rw.writer -> 'a -> unit) ->
+  decode:(Rw.reader -> 'a) ->
+  size:('a -> int) ->
+  'a t
+
+(** {1 Primitive codecs} *)
+
+val unit : unit t
+val int : int t
+val float : float t
+val bool : bool t
+val string : string t
+
+val floatarray : floatarray t
+(** Flat block of 8-byte words: the compact wire format of pointer-free
+    arrays. *)
+
+val int_array : int array t
+
+(** {1 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val option : 'a t -> 'a option t
+
+val array : 'a t -> 'a array t
+(** Length header plus per-element encoding (boxed representation —
+    contrast with {!floatarray}). *)
+
+val list : 'a t -> 'a list t
+
+val map : inj:('a -> 'b) -> proj:('b -> 'a) -> 'a t -> 'b t
+(** Codec for an isomorphic type. *)
+
+(** {1 Whole-value helpers} *)
+
+val to_bytes : 'a t -> 'a -> Bytes.t
+val of_bytes : 'a t -> Bytes.t -> 'a
+
+val roundtrip : 'a t -> 'a -> 'a
+(** [roundtrip c v] encodes then decodes [v], producing a structurally
+    fresh value; used by tests and to force genuine copies across node
+    boundaries. *)
+
+exception Version_mismatch of { expected : int; got : int }
+
+val versioned : version:int -> 'a t -> 'a t
+(** Envelope with a magic byte and a version tag, validated on decode:
+    stale or foreign byte streams fail loudly ([Rw.Underflow] on bad
+    magic, {!Version_mismatch} on a version change) instead of decoding
+    garbage. *)

@@ -1,0 +1,28 @@
+(** Deterministic splitmix64 random-number generator.
+
+    All synthetic datasets derive from explicit seeds through this
+    module, so workloads are reproducible across runs and independent of
+    OCaml's global [Random] state. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi]: uniform in [lo, hi). *)
+
+val int : t -> int -> int
+(** [int t bound]: uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Fresh generator with an independent stream. *)
+
+val floatarray : t -> int -> (t -> float) -> floatarray
+(** [floatarray t n f] draws [n] values with [f]. *)

@@ -1,0 +1,118 @@
+(** Low-level byte-buffer reader/writer.
+
+    All multi-byte quantities are little-endian.  The writer grows its
+    backing buffer geometrically; the reader walks a [Bytes.t] with a
+    mutable cursor and raises {!Underflow} when data runs out. *)
+
+exception Underflow
+
+type writer = {
+  mutable buf : Bytes.t;
+  mutable len : int;
+}
+
+type reader = {
+  data : Bytes.t;
+  mutable pos : int;
+  limit : int;
+}
+
+let create_writer ?(capacity = 256) () =
+  { buf = Bytes.create (max 16 capacity); len = 0 }
+
+let writer_length w = w.len
+
+let ensure w extra =
+  let needed = w.len + extra in
+  if needed > Bytes.length w.buf then begin
+    let cap = ref (Bytes.length w.buf * 2) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let buf = Bytes.create !cap in
+    Bytes.blit w.buf 0 buf 0 w.len;
+    w.buf <- buf
+  end
+
+let write_u8 w v =
+  ensure w 1;
+  Bytes.unsafe_set w.buf w.len (Char.unsafe_chr (v land 0xff));
+  w.len <- w.len + 1
+
+let write_i64 w v =
+  ensure w 8;
+  Bytes.set_int64_le w.buf w.len v;
+  w.len <- w.len + 8
+
+let write_int w v = write_i64 w (Int64.of_int v)
+
+let write_f64 w v = write_i64 w (Int64.bits_of_float v)
+
+let write_bytes w b off len =
+  ensure w len;
+  Bytes.blit b off w.buf w.len len;
+  w.len <- w.len + len
+
+let write_string w s =
+  write_int w (String.length s);
+  ensure w (String.length s);
+  Bytes.blit_string s 0 w.buf w.len (String.length s);
+  w.len <- w.len + String.length s
+
+(* Pointer-free float arrays are written as one contiguous block of
+   8-byte words, mirroring Triolet's block-copy serialization of unboxed
+   arrays (paper, section 3.4). *)
+let write_floatarray w (a : floatarray) off len =
+  write_int w len;
+  ensure w (8 * len);
+  for i = 0 to len - 1 do
+    Bytes.set_int64_le w.buf (w.len + (8 * i))
+      (Int64.bits_of_float (Float.Array.unsafe_get a (off + i)))
+  done;
+  w.len <- w.len + (8 * len)
+
+let contents w = Bytes.sub w.buf 0 w.len
+
+let reader_of_bytes b = { data = b; pos = 0; limit = Bytes.length b }
+
+let reader_of_writer w = reader_of_bytes (contents w)
+
+let remaining r = r.limit - r.pos
+
+let check r n = if r.pos + n > r.limit then raise Underflow
+
+let read_u8 r =
+  check r 1;
+  let v = Char.code (Bytes.unsafe_get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let read_i64 r =
+  check r 8;
+  let v = Bytes.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_int r = Int64.to_int (read_i64 r)
+
+let read_f64 r = Int64.float_of_bits (read_i64 r)
+
+let read_string r =
+  let n = read_int r in
+  if n < 0 then raise Underflow;
+  check r n;
+  let s = Bytes.sub_string r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_floatarray r =
+  let n = read_int r in
+  if n < 0 then raise Underflow;
+  check r (8 * n);
+  let a = Float.Array.create n in
+  for i = 0 to n - 1 do
+    Float.Array.unsafe_set a i
+      (Int64.float_of_bits (Bytes.get_int64_le r.data (r.pos + (8 * i))))
+  done;
+  r.pos <- r.pos + (8 * n);
+  a

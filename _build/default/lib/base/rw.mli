@@ -1,0 +1,56 @@
+(** Low-level byte-buffer reader/writer.
+
+    All multi-byte quantities are little-endian.  The writer grows its
+    backing buffer geometrically; the reader walks a [Bytes.t] with a
+    mutable cursor. *)
+
+exception Underflow
+(** Raised when a read runs past the end of the buffer. *)
+
+type writer
+(** Growable output buffer. *)
+
+type reader
+(** Input cursor over immutable bytes. *)
+
+val create_writer : ?capacity:int -> unit -> writer
+
+val writer_length : writer -> int
+(** Bytes written so far. *)
+
+val write_u8 : writer -> int -> unit
+(** Writes the low 8 bits of the argument. *)
+
+val write_i64 : writer -> int64 -> unit
+val write_int : writer -> int -> unit
+val write_f64 : writer -> float -> unit
+
+val write_bytes : writer -> Bytes.t -> int -> int -> unit
+(** [write_bytes w b off len] appends [len] raw bytes of [b] from
+    [off]. *)
+
+val write_string : writer -> string -> unit
+(** Length-prefixed string. *)
+
+val write_floatarray : writer -> floatarray -> int -> int -> unit
+(** [write_floatarray w a off len]: length prefix followed by one
+    contiguous block of 8-byte words — the block-copy serialization of
+    pointer-free arrays (paper, section 3.4). *)
+
+val contents : writer -> Bytes.t
+(** Copy of the bytes written so far. *)
+
+val reader_of_bytes : Bytes.t -> reader
+val reader_of_writer : writer -> reader
+
+val remaining : reader -> int
+(** Bytes left to read. *)
+
+val read_u8 : reader -> int
+val read_i64 : reader -> int64
+val read_int : reader -> int
+val read_f64 : reader -> float
+val read_string : reader -> string
+
+val read_floatarray : reader -> floatarray
+(** Inverse of {!write_floatarray}; allocates a fresh array. *)

@@ -1,0 +1,47 @@
+(** Growable arrays, used by collectors to pack variable-length skeleton
+    output into a contiguous array (paper, section 3.1, "Collectors"). *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 8) dummy =
+  { data = Array.make (max 1 capacity) dummy; len = 0; dummy }
+
+let length v = v.len
+
+let grow v =
+  let data = Array.make (2 * Array.length v.data) v.dummy in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let to_array v = Array.sub v.data 0 v.len
+
+let to_list v = Array.to_list (to_array v)
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) v;
+  !acc
+
+let clear v = v.len <- 0

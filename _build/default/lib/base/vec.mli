@@ -1,0 +1,25 @@
+(** Growable arrays, used by collectors to pack variable-length skeleton
+    output into contiguous storage (paper, section 3.1, "Collectors"). *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create dummy] makes an empty vector; [dummy] fills unused slots. *)
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Amortized O(1) append. *)
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val clear : 'a t -> unit
+(** Resets the length to zero without shrinking storage. *)

@@ -1,0 +1,1 @@
+lib/baselines/eden_list.ml: Array Bytes Float List Triolet_base

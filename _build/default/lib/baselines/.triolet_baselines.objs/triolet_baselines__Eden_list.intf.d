@@ -1,0 +1,1 @@
+lib/baselines/eden_list.mli: Triolet_base

@@ -1,0 +1,101 @@
+(** Eden-model skeletons over boxed lists.
+
+    Eden programs manipulate ordinary Haskell data structures; its
+    skeletons ([map], [reduce], farms) traverse linked lists of boxed
+    values, and distribution serializes *everything a task references*.
+    This module reproduces that cost model faithfully in OCaml:
+
+    - all aggregates are singly-linked lists of boxed floats/tuples, so
+      sequential traversal pays pointer-chasing and allocation the way
+      idiomatic non-array Eden code does (the paper's naive baseline in
+      section 1);
+    - [farm] chunks a list across simulated processes and forces every
+      chunk through the wire codec, so whole-structure serialization
+      costs are real, not estimated.
+
+    The sequential-efficiency ratios measured against these functions
+    calibrate the simulator's Eden profile (see DESIGN.md). *)
+
+module Codec = Triolet_base.Codec
+
+let map = List.map
+
+let filter = List.filter
+
+let concat_map = List.concat_map
+
+let zip = List.combine
+
+let zip3 a b c = List.map2 (fun x (y, z) -> (x, y, z)) a (List.combine b c)
+
+let fold = List.fold_left
+
+let sum_float l = List.fold_left ( +. ) 0.0 l
+
+(** Reduce with an explicit binary combiner, Eden's [reduce] skeleton. *)
+let reduce merge init l = List.fold_left merge init l
+
+(** Counting histogram over a list of bin indices. *)
+let histogram ~bins l =
+  let h = Array.make bins 0 in
+  List.iter (fun i -> if i >= 0 && i < bins then h.(i) <- h.(i) + 1) l;
+  h
+
+(** Floating-point histogram over (bin, weight) pairs. *)
+let weighted_histogram ~bins l =
+  let h = Float.Array.make bins 0.0 in
+  List.iter
+    (fun (i, w) ->
+      if i >= 0 && i < bins then Float.Array.set h i (Float.Array.get h i +. w))
+    l;
+  h
+
+(** Split a list into [parts] near-equal contiguous chunks. *)
+let chunk ~parts l =
+  let n = List.length l in
+  if parts <= 0 then invalid_arg "Eden_list.chunk";
+  let parts = min parts (max n 1) in
+  let base = n / parts and extra = n mod parts in
+  let rec take k l =
+    if k = 0 then ([], l)
+    else
+      match l with
+      | [] -> ([], [])
+      | x :: rest ->
+          let a, b = take (k - 1) rest in
+          (x :: a, b)
+  in
+  let rec go p l =
+    if p = parts then []
+    else begin
+      let len = base + if p < extra then 1 else 0 in
+      let c, rest = take len l in
+      c :: go (p + 1) rest
+    end
+  in
+  List.filter (fun c -> c <> []) (go 0 l)
+
+(** Eden's process farm: distribute chunks of the input to simulated
+    processes.  Each chunk is serialized with [codec], "sent" (bytes are
+    counted), decoded into fresh structure, and only then processed —
+    whole-structure serialization, as Eden's runtime does.  Returns the
+    results in order together with the total bytes moved. *)
+let farm ~processes ~codec ~f l =
+  let chunks = chunk ~parts:processes l in
+  let bytes = ref 0 in
+  let results =
+    List.map
+      (fun c ->
+        let wire = Codec.to_bytes (Codec.list codec) c in
+        bytes := !bytes + Bytes.length wire;
+        let received = Codec.of_bytes (Codec.list codec) wire in
+        let r = f received in
+        r)
+      chunks
+  in
+  (results, !bytes)
+
+(** mapReduce farm: farm out chunks, reduce the per-process results. *)
+let farm_reduce ~processes ~codec ~f ~merge ~init l =
+  let results, bytes = farm ~processes ~codec ~f l in
+  (List.fold_left merge init results, bytes)

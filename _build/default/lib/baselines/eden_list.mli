@@ -1,0 +1,41 @@
+(** Eden-model skeletons over boxed lists.
+
+    Reproduces the cost model of idiomatic Eden code: aggregates are
+    singly-linked lists of boxed values, and distribution serializes
+    everything a task references.  Measurements against these functions
+    calibrate the simulator's Eden profile. *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+val filter : ('a -> bool) -> 'a list -> 'a list
+val concat_map : ('a -> 'b list) -> 'a list -> 'b list
+val zip : 'a list -> 'b list -> ('a * 'b) list
+val zip3 : 'a list -> 'b list -> 'c list -> ('a * 'b * 'c) list
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a list -> 'b
+val sum_float : float list -> float
+val reduce : ('b -> 'a -> 'b) -> 'b -> 'a list -> 'b
+
+val histogram : bins:int -> int list -> int array
+val weighted_histogram : bins:int -> (int * float) list -> floatarray
+
+val chunk : parts:int -> 'a list -> 'a list list
+(** Near-equal contiguous chunks; empty chunks omitted. *)
+
+val farm :
+  processes:int ->
+  codec:'a Triolet_base.Codec.t ->
+  f:('a list -> 'r) ->
+  'a list ->
+  'r list * int
+(** Eden's process farm: each chunk is serialized, "sent" (bytes
+    counted), decoded fresh, and only then processed — whole-structure
+    serialization, as Eden's runtime does.  Returns per-process results
+    in order and total bytes moved. *)
+
+val farm_reduce :
+  processes:int ->
+  codec:'a Triolet_base.Codec.t ->
+  f:('a list -> 'r) ->
+  merge:('acc -> 'r -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc * int

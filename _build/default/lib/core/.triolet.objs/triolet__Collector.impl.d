@@ -1,0 +1,1 @@
+lib/core/collector.ml: Array Float Folder List Stepper Triolet_base

@@ -1,0 +1,1 @@
+lib/core/collector.mli: Folder Stepper Triolet_base

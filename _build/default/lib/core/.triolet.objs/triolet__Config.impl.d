@@ -1,0 +1,1 @@
+lib/core/config.ml: Fun Triolet_runtime

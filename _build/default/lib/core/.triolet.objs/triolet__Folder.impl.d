@@ -1,0 +1,1 @@
+lib/core/folder.ml: Array Float List Stepper

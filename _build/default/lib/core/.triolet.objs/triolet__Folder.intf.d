@@ -1,0 +1,1 @@
+lib/core/folder.mli: Stepper

@@ -1,0 +1,1 @@
+lib/core/grid3.ml: Float

@@ -1,0 +1,1 @@
+lib/core/indexer.ml: Array Collector Float Folder List Shape Stepper

@@ -1,0 +1,1 @@
+lib/core/indexer.mli: Collector Folder Shape Stepper

@@ -1,0 +1,1 @@
+lib/core/iter.ml: Array Bytes Collector Config Float Indexer Printf Seq_iter Skeletons Triolet_base Triolet_runtime

@@ -1,0 +1,1 @@
+lib/core/iter.mli: Seq_iter Triolet_base

@@ -1,0 +1,1 @@
+lib/core/iter2.ml: Array Config Indexer Iter Matrix Seq_iter Shape Skeletons Triolet_base Triolet_runtime

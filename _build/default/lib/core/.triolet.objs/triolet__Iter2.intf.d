@@ -1,0 +1,1 @@
+lib/core/iter2.mli: Iter Matrix Triolet_base

@@ -1,0 +1,1 @@
+lib/core/iter3.ml: Array Config Grid3 Iter Skeletons Triolet_base Triolet_runtime

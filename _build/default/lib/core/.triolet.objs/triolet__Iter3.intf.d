@@ -1,0 +1,1 @@
+lib/core/iter3.mli: Grid3 Iter Triolet_base

@@ -1,0 +1,1 @@
+lib/core/matrix.ml: Float Triolet_base Triolet_runtime

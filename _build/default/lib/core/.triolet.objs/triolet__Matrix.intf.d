@@ -1,0 +1,1 @@
+lib/core/matrix.mli: Triolet_base Triolet_runtime

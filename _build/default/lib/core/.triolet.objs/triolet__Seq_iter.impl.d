@@ -1,0 +1,1 @@
+lib/core/seq_iter.ml: Collector Float Indexer List Printf Stepper Triolet_base

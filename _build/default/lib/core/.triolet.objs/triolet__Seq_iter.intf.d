@@ -1,0 +1,1 @@
+lib/core/seq_iter.mli: Collector Indexer Seq Stepper Triolet_base

@@ -1,0 +1,1 @@
+lib/core/shape.ml: Printf

@@ -1,0 +1,1 @@
+lib/core/skeletons.ml: Array Config List Option Triolet_base Triolet_runtime

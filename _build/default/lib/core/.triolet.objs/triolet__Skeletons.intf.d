@@ -1,0 +1,1 @@
+lib/core/skeletons.mli: Triolet_base Triolet_runtime

@@ -1,0 +1,1 @@
+lib/core/stepper.ml: Array Float List Seq Triolet_base

@@ -1,0 +1,1 @@
+lib/core/stepper.mli: Seq Triolet_base

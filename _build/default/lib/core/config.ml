@@ -1,0 +1,23 @@
+(** Global execution configuration for skeleton consumers.
+
+    Users pick *what* parallelism to use with [par]/[localpar] hints;
+    *where* it runs — how many simulated nodes, cores per node, and
+    whether the distributed layer is two-level or flat — is ambient
+    configuration, like the MPI launch geometry of a real deployment. *)
+
+let cluster = ref Triolet_runtime.Cluster.default_config
+
+let set_cluster c = cluster := c
+
+let get_cluster () = !cluster
+
+(** Run [f] under cluster configuration [c], restoring the previous one
+    afterwards (exception-safe). *)
+let with_cluster c f =
+  let old = !cluster in
+  cluster := c;
+  Fun.protect ~finally:(fun () -> cluster := old) f
+
+(** Chunk over-decomposition multiplier for local (work-stealing)
+    parallel loops. *)
+let chunk_multiplier = ref 4

@@ -1,0 +1,13 @@
+(** Global execution configuration for skeleton consumers: the cluster
+    geometry that [par] runs on, like the MPI launch configuration of a
+    real deployment. *)
+
+val set_cluster : Triolet_runtime.Cluster.config -> unit
+val get_cluster : unit -> Triolet_runtime.Cluster.config
+
+val with_cluster : Triolet_runtime.Cluster.config -> (unit -> 'a) -> 'a
+(** Runs the thunk under the given configuration, restoring the previous
+    one afterwards (exception-safe). *)
+
+val chunk_multiplier : int ref
+(** Over-decomposition multiplier for local work-stealing loops. *)

@@ -1,0 +1,77 @@
+(** The fold encoding: a data structure represented by the function that
+    folds over its elements (paper, section 3.1, "Folds").
+
+    Folds fix the execution order completely — no zipping — but nested
+    traversals fuse into clean nested loops, which is why hybrid
+    iterators route nested reductions through them. *)
+
+type 'a t = { fold : 'acc. ('acc -> 'a -> 'acc) -> 'acc -> 'acc }
+
+let empty = { fold = (fun _ init -> init) }
+
+let singleton x = { fold = (fun f init -> f init x) }
+
+let of_list l = { fold = (fun f init -> List.fold_left f init l) }
+
+let of_array a = { fold = (fun f init -> Array.fold_left f init a) }
+
+let of_floatarray (a : floatarray) =
+  { fold = (fun f init -> Float.Array.fold_left f init a) }
+
+let range lo hi =
+  {
+    fold =
+      (fun f init ->
+        let acc = ref init in
+        for i = lo to hi - 1 do
+          acc := f !acc i
+        done;
+        !acc);
+  }
+
+let of_stepper st = { fold = (fun f init -> Stepper.fold f init st) }
+
+let map g t = { fold = (fun f init -> t.fold (fun acc x -> f acc (g x)) init) }
+
+let filter p t =
+  { fold = (fun f init -> t.fold (fun acc x -> if p x then f acc x else acc) init) }
+
+let filter_map g t =
+  {
+    fold =
+      (fun f init ->
+        t.fold
+          (fun acc x -> match g x with Some y -> f acc y | None -> acc)
+          init);
+  }
+
+(** The worker passed to the outer fold runs the inner fold: inlining
+    this (conceptually) yields a nested loop, the property that makes
+    folds the encoding of choice for nested traversal. *)
+let concat_map g t =
+  { fold = (fun f init -> t.fold (fun acc x -> (g x).fold f acc) init) }
+
+let append a b = { fold = (fun f init -> b.fold f (a.fold f init)) }
+
+let fold f init t = t.fold f init
+
+let iter f t = t.fold (fun () x -> f x) ()
+
+let length t = t.fold (fun n _ -> n + 1) 0
+
+let to_list t = List.rev (t.fold (fun acc x -> x :: acc) [])
+
+let sum_float t = t.fold ( +. ) 0.0
+
+let sum_int t = t.fold ( + ) 0
+
+let exists p t = t.fold (fun found x -> found || p x) false
+
+let for_all p t = t.fold (fun ok x -> ok && p x) true
+
+let min_float t = t.fold Float.min Float.infinity
+
+let max_float t = t.fold Float.max Float.neg_infinity
+
+(** Count elements satisfying a predicate in one pass. *)
+let count_if p t = t.fold (fun n x -> if p x then n + 1 else n) 0

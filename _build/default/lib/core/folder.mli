@@ -1,0 +1,39 @@
+(** The fold encoding: a data structure represented by the function that
+    folds over its elements (paper, section 3.1, "Folds").
+
+    Folds fix execution order completely — no zip, no parallelism
+    (Figure 1) — but nested traversals fuse into clean nested loops. *)
+
+type 'a t = { fold : 'acc. ('acc -> 'a -> 'acc) -> 'acc -> 'acc }
+
+val empty : 'a t
+val singleton : 'a -> 'a t
+val of_list : 'a list -> 'a t
+val of_array : 'a array -> 'a t
+val of_floatarray : floatarray -> float t
+val range : int -> int -> int t
+val of_stepper : 'a Stepper.t -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+val filter_map : ('a -> 'b option) -> 'a t -> 'b t
+
+val concat_map : ('a -> 'b t) -> 'a t -> 'b t
+(** The outer fold's worker runs the inner fold: a nested loop. *)
+
+val append : 'a t -> 'a t -> 'a t
+
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val iter : ('a -> unit) -> 'a t -> unit
+val length : 'a t -> int
+val to_list : 'a t -> 'a list
+val sum_float : float t -> float
+val sum_int : int t -> int
+
+(** {1 Extended operations} *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+val min_float : float t -> float
+val max_float : float t -> float
+val count_if : ('a -> bool) -> 'a t -> int

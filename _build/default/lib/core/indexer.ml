@@ -1,0 +1,85 @@
+(** The indexer encoding: a domain plus a lookup function (paper,
+    section 3.1, "Indexers", generalized over domains in section 3.3).
+
+    Indexers are the only encoding that permits random access, which
+    makes them the parallelizable layer of hybrid iterators: any
+    sub-range of an indexer can be handed to a different task.  The cost
+    is that variable-length producers ([filter], [concat_map]) cannot be
+    expressed directly — hybrid iterators wrap their output in steppers
+    instead. *)
+
+type ('i, 'a) t = { shape : 'i Shape.t; get : 'i -> 'a }
+
+let make shape get = { shape; get }
+
+let shape t = t.shape
+
+let size t = Shape.size t.shape
+
+let get t i = t.get i
+
+let init shape f = { shape; get = f }
+
+let of_array a = { shape = Shape.seq (Array.length a); get = Array.get a }
+
+let of_floatarray (a : floatarray) =
+  { shape = Shape.seq (Float.Array.length a); get = Float.Array.get a }
+
+(** Indexer over the integers [lo, hi) themselves. *)
+let range lo hi =
+  if hi < lo then invalid_arg "Indexer.range";
+  { shape = Shape.seq (hi - lo); get = (fun i -> lo + i) }
+
+(** Mapping composes lookup with [f]: [(n, g) -> (n, f . g)]. *)
+let map f t = { shape = t.shape; get = (fun i -> f (t.get i)) }
+
+(** [zipIdx]: random access lets corresponding iterations pair up
+    without any buffering, preserving parallelism. *)
+let zip_with f a b =
+  {
+    shape = Shape.intersect a.shape b.shape;
+    get = (fun i -> f (a.get i) (b.get i));
+  }
+
+let zip a b = zip_with (fun x y -> (x, y)) a b
+
+let enumerate t = { shape = t.shape; get = (fun i -> (i, t.get i)) }
+
+(** 1-D sub-range view; indices are rebased to start at zero.  This is
+    the work-distribution half of slicing — the data-distribution half
+    lives with the iterator's payload (section 3.5). *)
+let slice (t : (int, 'a) t) off len =
+  match t.shape with
+  | Shape.Seq n ->
+      if off < 0 || len < 0 || off + len > n then invalid_arg "Indexer.slice";
+      { shape = Shape.seq len; get = (fun i -> t.get (off + i)) }
+
+(* Conversions down the control-flexibility order of Figure 1: an
+   indexer can become a stepper, fold, or collector, never the other
+   way around. *)
+
+let to_stepper (t : (int, 'a) t) =
+  let n = size t in
+  Stepper.unfold 0 (fun i ->
+      if i >= n then Stepper.Done else Stepper.Yield (t.get i, i + 1))
+
+let to_folder t =
+  { Folder.fold = (fun f init -> Shape.fold t.shape (fun acc i -> f acc (t.get i)) init) }
+
+let to_collector t =
+  { Collector.run = (fun k -> Shape.iter t.shape (fun i -> k (t.get i))) }
+
+let fold f init t = Folder.fold f init (to_folder t)
+
+let iter f t = Shape.iter t.shape (fun i -> f (t.get i))
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let to_array dummy t =
+  let n = size t in
+  let a = Array.make n dummy in
+  let k = ref 0 in
+  Shape.iter t.shape (fun i ->
+      a.(!k) <- t.get i;
+      incr k);
+  a

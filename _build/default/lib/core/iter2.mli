@@ -1,0 +1,62 @@
+(** Two-dimensional iterators (paper, section 3.3).
+
+    Only flat indexers generalize to multiple dimensions, so a 2-D
+    iterator is an [IdxFlat] over a [Dim2] domain plus 2-D *block*
+    slicing: a block of the iteration space maps to the data slice its
+    tasks touch — how the two-line sgemm ships each node only the rows
+    it needs. *)
+
+type 'a t
+
+val row_count : 'a t -> int
+val col_count : 'a t -> int
+val hint : 'a t -> Iter.hint
+
+val make :
+  rows:int ->
+  cols:int ->
+  local:(int -> int -> int -> int -> int -> int -> 'a) ->
+  width:int ->
+  payload_of:(int -> int -> int -> int -> Triolet_base.Payload.t) ->
+  rebuild:(Triolet_base.Payload.t -> 'a t) ->
+  'a t
+(** [local r0 nr c0 nc i j] is the element at block-relative (i, j) of
+    block (r0, nr, c0, nc); [payload_of] extracts the block's data
+    slice; [rebuild] reconstructs a block-sized iterator from it. *)
+
+val init : rows:int -> cols:int -> (int -> int -> 'a) -> 'a t
+(** From an element function (the paper's [arrayRange] comprehension).
+    No serializable source: sequential and local execution only. *)
+
+val of_matrix : Matrix.t -> float t
+
+val outer_product : 'a Iter.t -> 'b Iter.t -> ('a * 'b) t
+(** The paper's [outerproduct]: block (r0, nr, c0, nc) needs elements
+    [r0, r0+nr) of [a] and [c0, c0+nc) of [b] — exactly what its
+    payload carries. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val par : 'a t -> 'a t
+val localpar : 'a t -> 'a t
+val sequential : 'a t -> 'a t
+
+val build : float t -> Matrix.t
+(** Materialize: sequential fill, row-band parallelism on the pool, or a
+    near-square grid of node blocks, each shipped only its input slice
+    and blitted back into place. *)
+
+val rows : Matrix.t -> Matrix.view Iter.t
+(** The paper's [rows]: a matrix as a 1-D iterator over row views.  Rows
+    are contiguous, so a slice's payload is one block copy. *)
+
+val transpose_iter : Matrix.t -> float t
+(** Transposition as a 2-D iterator:
+    [[A[x,y] for (y,x) in arrayRange((0,0),(h,w))]]. *)
+
+val sum : float t -> float
+(** Reduce to a scalar, distributed over the same block grid as
+    {!build}. *)
+
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+(** Pointwise combination over the intersection of extents. *)

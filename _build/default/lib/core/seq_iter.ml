@@ -1,0 +1,228 @@
+(** Hybrid iterators: the paper's core representation (section 3.2).
+
+    An iterator is a loop nest with an indexer or stepper at each
+    nesting level:
+
+    - [Idx_flat]  — flat random-access loop (parallelizable);
+    - [Step_flat] — flat sequential stream;
+    - [Idx_nest]  — random-access outer loop of inner iterators
+                    (parallelizable outer, irregular inner);
+    - [Step_nest] — sequential outer loop of inner iterators.
+
+    [filter] and [concat_map] on an [Idx_flat] produce an [Idx_nest]
+    rather than reassigning indices: each input index yields a short
+    (possibly empty) inner stream, so irregularity is isolated in inner
+    loops while the outer loop stays partitionable — exactly the
+    sum-of-filter strategy of section 3.2.  Every function below is one
+    of the equations in Figure 2 of the paper (plus [map], [fold] and
+    friends in the same style). *)
+
+type 'a t =
+  | Idx_flat of (int, 'a) Indexer.t
+  | Step_flat of 'a Stepper.t
+  | Idx_nest of (int, 'a t) Indexer.t
+  | Step_nest of 'a t Stepper.t
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let empty = Step_flat Stepper.empty
+
+let singleton x = Step_flat (Stepper.singleton x)
+
+let of_indexer ix = Idx_flat ix
+
+let of_stepper st = Step_flat st
+
+let of_array a = Idx_flat (Indexer.of_array a)
+
+let of_floatarray a = Idx_flat (Indexer.of_floatarray a)
+
+let of_list l = Step_flat (Stepper.of_list l)
+
+let range lo hi = Idx_flat (Indexer.range lo hi)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 equations                                                  *)
+
+(** [toStep]: demote any iterator to a flat sequential stream. *)
+let rec to_stepper : 'a. 'a t -> 'a Stepper.t = function
+  | Idx_flat xs -> Indexer.to_stepper xs
+  | Step_flat xs -> xs
+  | Idx_nest xss ->
+      Stepper.concat_map to_stepper (Indexer.to_stepper xss)
+  | Step_nest xss -> Stepper.concat_map to_stepper xss
+
+(** [zip]: two flat indexers zip by index, preserving parallelism; any
+    other combination involves variable-length output and must be
+    zipped sequentially through steppers. *)
+let zip a b =
+  match (a, b) with
+  | Idx_flat xs, Idx_flat ys -> Idx_flat (Indexer.zip xs ys)
+  | _ -> Step_flat (Stepper.zip (to_stepper a) (to_stepper b))
+
+let zip_with f a b =
+  match (a, b) with
+  | Idx_flat xs, Idx_flat ys -> Idx_flat (Indexer.zip_with f xs ys)
+  | _ -> Step_flat (Stepper.zip_with f (to_stepper a) (to_stepper b))
+
+let rec map : 'a 'b. ('a -> 'b) -> 'a t -> 'b t =
+ fun f -> function
+  | Idx_flat xs -> Idx_flat (Indexer.map f xs)
+  | Step_flat xs -> Step_flat (Stepper.map f xs)
+  | Idx_nest xss -> Idx_nest (Indexer.map (map f) xss)
+  | Step_nest xss -> Step_nest (Stepper.map (map f) xss)
+
+(** [filter]: on a flat indexer, each element becomes a 0-or-1-element
+    stepper under an unchanged outer index — variable-length output
+    without index reassignment. *)
+let rec filter : 'a. ('a -> bool) -> 'a t -> 'a t =
+ fun p -> function
+  | Idx_flat xs ->
+      Idx_nest
+        (Indexer.map
+           (fun x -> Step_flat (Stepper.filter p (Stepper.singleton x)))
+           xs)
+  | Step_flat xs -> Step_flat (Stepper.filter p xs)
+  | Idx_nest xss -> Idx_nest (Indexer.map (filter p) xss)
+  | Step_nest xss -> Step_nest (Stepper.map (filter p) xss)
+
+(** [concatMap]: adds one level of nesting, keeping the outer loop's
+    encoding (and hence its parallelizability). *)
+let rec concat_map : 'a 'b. ('a -> 'b t) -> 'a t -> 'b t =
+ fun f -> function
+  | Idx_flat xs -> Idx_nest (Indexer.map f xs)
+  | Step_flat xs -> Step_nest (Stepper.map f xs)
+  | Idx_nest xss -> Idx_nest (Indexer.map (concat_map f) xss)
+  | Step_nest xss -> Step_nest (Stepper.map (concat_map f) xss)
+
+(** [collect]: convert every nesting level into a sequential
+    side-effecting loop. *)
+let rec collect : 'a. 'a t -> 'a Collector.t = function
+  | Idx_flat xs -> Indexer.to_collector xs
+  | Step_flat xs -> Collector.of_stepper xs
+  | Idx_nest xss ->
+      { Collector.run = (fun k -> Indexer.iter (fun it -> (collect it).Collector.run k) xss) }
+  | Step_nest xss ->
+      { Collector.run = (fun k -> Stepper.iter (fun it -> (collect it).Collector.run k) xss) }
+
+(** [fold] in the style of Figure 2's [sum]: each level of nesting turns
+    into one loop. *)
+let rec fold : 'a 'acc. ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc =
+ fun f init -> function
+  | Idx_flat xs -> Indexer.fold f init xs
+  | Step_flat xs -> Stepper.fold f init xs
+  | Idx_nest xss -> Indexer.fold (fun acc it -> fold f acc it) init xss
+  | Step_nest xss -> Stepper.fold (fun acc it -> fold f acc it) init xss
+
+let sum_float it = fold ( +. ) 0.0 it
+
+let sum_int it = fold ( + ) 0 it
+
+let iter f it = fold (fun () x -> f x) () it
+
+let length it = fold (fun n _ -> n + 1) 0 it
+
+let to_list it = List.rev (fold (fun acc x -> x :: acc) [] it)
+
+let to_vec dummy it =
+  let v = Triolet_base.Vec.create dummy in
+  iter (Triolet_base.Vec.push v) it;
+  v
+
+let to_array dummy it = Triolet_base.Vec.to_array (to_vec dummy it)
+
+let to_floatarray (it : float t) =
+  let v = to_vec 0.0 it in
+  Float.Array.init (Triolet_base.Vec.length v) (Triolet_base.Vec.get v)
+
+(** First element, if any. *)
+let reduce f it =
+  fold
+    (fun acc x -> match acc with None -> Some x | Some a -> Some (f a x))
+    None it
+
+(* ------------------------------------------------------------------ *)
+(* Outer-loop structure: what the parallel layer needs to know          *)
+
+(** Number of outer tasks when the outermost level is random-access. *)
+let outer_length = function
+  | Idx_flat ix -> Some (Indexer.size ix)
+  | Idx_nest ix -> Some (Indexer.size ix)
+  | Step_flat _ | Step_nest _ -> None
+
+(** Sub-range of the outer loop; only defined for random-access outer
+    levels.  This is the work-distribution half of partitioning. *)
+let slice_outer it off len =
+  match it with
+  | Idx_flat ix -> Idx_flat (Indexer.slice ix off len)
+  | Idx_nest ix -> Idx_nest (Indexer.slice ix off len)
+  | Step_flat _ | Step_nest _ ->
+      invalid_arg "Seq_iter.slice_outer: outer loop is not random-access"
+
+let rec filter_map : 'a 'b. ('a -> 'b option) -> 'a t -> 'b t =
+ fun f -> function
+  | Idx_flat xs ->
+      Idx_nest
+        (Indexer.map
+           (fun x ->
+             match f x with Some y -> singleton y | None -> empty)
+           xs)
+  | Step_flat xs -> Step_flat (Stepper.filter_map f xs)
+  | Idx_nest xss -> Idx_nest (Indexer.map (filter_map f) xss)
+  | Step_nest xss -> Step_nest (Stepper.map (filter_map f) xss)
+
+(** Concatenation: sequential (stepper-headed), since the combined
+    outer loop no longer has a single random-access domain. *)
+let append a b =
+  Step_nest (Stepper.of_list [ a; b ])
+
+let exists p it = fold (fun found x -> found || p x) false it
+
+let for_all p it = fold (fun ok x -> ok && p x) true it
+
+let find p it = Stepper.find p (to_stepper it)
+
+let min_float it = fold Float.min Float.infinity it
+
+let max_float it = fold Float.max Float.neg_infinity it
+
+(** Monadic syntax: [let*] is [concat_map], so nested comprehensions
+    read like the paper's Python/Haskell examples:
+
+    {[
+      let open Seq_iter.Let_syntax in
+      let* a = Seq_iter.of_array atoms in
+      let* r = grid_points a in
+      return (f a r)
+    ]} *)
+module Let_syntax = struct
+  let return = singleton
+  let ( let* ) it f = concat_map f it
+  let ( and* ) a b = zip a b
+  let ( let+ ) it f = map f it
+  let ( and+ ) a b = zip a b
+end
+
+(** Human-readable description of the loop-nest structure, e.g.
+    ["IdxNest[6](StepFlat)"] for a filtered flat indexer.  The inner
+    structure of a nest is sampled from its first outer element (nests
+    may be heterogeneous; the first element is representative for
+    library-built iterators).  Useful for tests and for inspecting what
+    structure a pipeline actually built. *)
+let rec describe : 'a. 'a t -> string = function
+  | Idx_flat ix -> Printf.sprintf "IdxFlat[%d]" (Indexer.size ix)
+  | Step_flat _ -> "StepFlat"
+  | Idx_nest ix ->
+      let inner =
+        if Indexer.size ix > 0 then describe (Indexer.get ix 0) else "empty"
+      in
+      Printf.sprintf "IdxNest[%d](%s)" (Indexer.size ix) inner
+  | Step_nest xss -> (
+      match Stepper.find (fun _ -> true) xss with
+      | Some first -> Printf.sprintf "StepNest(%s)" (describe first)
+      | None -> "StepNest(empty)")
+
+let of_seq seq = Step_flat (Stepper.of_seq seq)
+
+let to_seq it = Stepper.to_seq (to_stepper it)

@@ -1,0 +1,105 @@
+(** Hybrid iterators: the paper's core representation (section 3.2,
+    Figure 2).
+
+    A loop nest with an indexer or stepper at each nesting level.
+    [filter] and [concat_map] on a flat indexer produce an [Idx_nest]
+    rather than reassigning indices: each input index yields a short
+    (possibly empty) inner stream, so irregularity is isolated in inner
+    loops while the outer loop stays random-access and partitionable. *)
+
+type 'a t =
+  | Idx_flat of (int, 'a) Indexer.t  (** flat, random access *)
+  | Step_flat of 'a Stepper.t  (** flat, sequential *)
+  | Idx_nest of (int, 'a t) Indexer.t  (** random-access outer loop *)
+  | Step_nest of 'a t Stepper.t  (** sequential outer loop *)
+
+(** {1 Construction} *)
+
+val empty : 'a t
+val singleton : 'a -> 'a t
+val of_indexer : (int, 'a) Indexer.t -> 'a t
+val of_stepper : 'a Stepper.t -> 'a t
+val of_array : 'a array -> 'a t
+val of_floatarray : floatarray -> float t
+val of_list : 'a list -> 'a t
+val range : int -> int -> int t
+
+(** {1 The Figure 2 equations} *)
+
+val to_stepper : 'a t -> 'a Stepper.t
+(** [toStep]: demote to a flat sequential stream. *)
+
+val zip : 'a t -> 'b t -> ('a * 'b) t
+(** Two flat indexers zip by index (parallelism survives); any other
+    combination zips sequentially through steppers. *)
+
+val zip_with : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val filter : ('a -> bool) -> 'a t -> 'a t
+(** On a flat indexer: each element becomes a 0-or-1-element stepper
+    under an unchanged outer index. *)
+
+val concat_map : ('a -> 'b t) -> 'a t -> 'b t
+(** Adds one nesting level, keeping the outer loop's encoding. *)
+
+val collect : 'a t -> 'a Collector.t
+(** Every nesting level becomes a sequential side-effecting loop. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** {1 Derived consumers} *)
+
+val sum_float : float t -> float
+val sum_int : int t -> int
+val iter : ('a -> unit) -> 'a t -> unit
+val length : 'a t -> int
+val to_list : 'a t -> 'a list
+val to_vec : 'a -> 'a t -> 'a Triolet_base.Vec.t
+val to_array : 'a -> 'a t -> 'a array
+val to_floatarray : float t -> floatarray
+val reduce : ('a -> 'a -> 'a) -> 'a t -> 'a option
+
+(** {1 Outer-loop structure (what the parallel layer needs)} *)
+
+val outer_length : 'a t -> int option
+(** Number of outer tasks when the outermost level is random-access. *)
+
+val slice_outer : 'a t -> int -> int -> 'a t
+(** Sub-range of a random-access outer loop; raises [Invalid_argument]
+    on stepper-headed iterators. *)
+
+(** {1 Extended operations} *)
+
+val filter_map : ('a -> 'b option) -> 'a t -> 'b t
+(** Fused map + filter; preserves a random-access outer loop like
+    {!filter}. *)
+
+val append : 'a t -> 'a t -> 'a t
+(** Sequential concatenation (stepper-headed: the combined outer loop
+    has no single random-access domain). *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+val find : ('a -> bool) -> 'a t -> 'a option
+val min_float : float t -> float
+val max_float : float t -> float
+
+(** Monadic syntax: [let*] is {!concat_map}, [let+] is {!map}, so nested
+    comprehensions read like the paper's examples. *)
+module Let_syntax : sig
+  val return : 'a -> 'a t
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( and* ) : 'a t -> 'b t -> ('a * 'b) t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( and+ ) : 'a t -> 'b t -> ('a * 'b) t
+end
+
+val describe : 'a t -> string
+(** Loop-nest structure, e.g. ["IdxNest[6](StepFlat)"]; nests sample
+    their first outer element.  For inspection and tests. *)
+
+val of_seq : 'a Seq.t -> 'a t
+(** Stdlib [Seq] interop (sequential: a [Seq] has no random access). *)
+
+val to_seq : 'a t -> 'a Seq.t

@@ -1,0 +1,108 @@
+(** Index domains: the [Domain] type class of the paper (section 3.3).
+
+    A shape describes an iteration space; its type parameter is the type
+    of indices it contains (the paper's associated type [Index d]).
+    One-dimensional [Seq] spaces index with [int]; [Dim2] and [Dim3]
+    index with tuples, avoiding the division/modulus cost of simulating
+    multidimensional loops over flattened indices. *)
+
+type _ t =
+  | Seq : int -> int t
+  | Dim2 : int * int -> (int * int) t
+  | Dim3 : int * int * int -> (int * int * int) t
+
+let seq n =
+  if n < 0 then invalid_arg "Shape.seq: negative length";
+  Seq n
+
+let dim2 h w =
+  if h < 0 || w < 0 then invalid_arg "Shape.dim2: negative extent";
+  Dim2 (h, w)
+
+let dim3 d h w =
+  if d < 0 || h < 0 || w < 0 then invalid_arg "Shape.dim3: negative extent";
+  Dim3 (d, h, w)
+
+let size : type i. i t -> int = function
+  | Seq n -> n
+  | Dim2 (h, w) -> h * w
+  | Dim3 (d, h, w) -> d * h * w
+
+(** Row-major linearization of an index. *)
+let linear : type i. i t -> i -> int =
+ fun shape idx ->
+  match (shape, idx) with
+  | Seq _, i -> i
+  | Dim2 (_, w), (y, x) -> (y * w) + x
+  | Dim3 (_, h, w), (z, y, x) -> (z * h * w) + (y * w) + x
+
+(** Inverse of {!linear}. *)
+let of_linear : type i. i t -> int -> i =
+ fun shape k ->
+  match shape with
+  | Seq _ -> k
+  | Dim2 (_, w) -> (k / w, k mod w)
+  | Dim3 (_, h, w) -> (k / (h * w), k mod (h * w) / w, k mod w)
+
+let mem : type i. i t -> i -> bool =
+ fun shape idx ->
+  match (shape, idx) with
+  | Seq n, i -> i >= 0 && i < n
+  | Dim2 (h, w), (y, x) -> y >= 0 && y < h && x >= 0 && x < w
+  | Dim3 (d, h, w), (z, y, x) ->
+      z >= 0 && z < d && y >= 0 && y < h && x >= 0 && x < w
+
+(** Fold over all indices of the domain in row-major order: the
+    [idxToFold] conversion overloaded per domain in the paper. *)
+let fold : type i. i t -> ('a -> i -> 'a) -> 'a -> 'a =
+ fun shape f init ->
+  match shape with
+  | Seq n ->
+      let acc = ref init in
+      for i = 0 to n - 1 do
+        acc := f !acc i
+      done;
+      !acc
+  | Dim2 (h, w) ->
+      let acc = ref init in
+      for y = 0 to h - 1 do
+        for x = 0 to w - 1 do
+          acc := f !acc (y, x)
+        done
+      done;
+      !acc
+  | Dim3 (d, h, w) ->
+      let acc = ref init in
+      for z = 0 to d - 1 do
+        for y = 0 to h - 1 do
+          for x = 0 to w - 1 do
+            acc := f !acc (z, y, x)
+          done
+        done
+      done;
+      !acc
+
+let iter : type i. i t -> (i -> unit) -> unit =
+ fun shape f -> fold shape (fun () i -> f i) ()
+
+(** Pointwise intersection: the common sub-domain visited by [zipWith]
+    when two domains disagree in extent. *)
+let intersect : type i. i t -> i t -> i t =
+ fun a b ->
+  match (a, b) with
+  | Seq n, Seq m -> Seq (min n m)
+  | Dim2 (h, w), Dim2 (h', w') -> Dim2 (min h h', min w w')
+  | Dim3 (d, h, w), Dim3 (d', h', w') ->
+      Dim3 (min d d', min h h', min w w')
+
+let equal : type i. i t -> i t -> bool =
+ fun a b ->
+  match (a, b) with
+  | Seq n, Seq m -> n = m
+  | Dim2 (h, w), Dim2 (h', w') -> h = h' && w = w'
+  | Dim3 (d, h, w), Dim3 (d', h', w') -> d = d' && h = h' && w = w'
+
+let to_string : type i. i t -> string = function
+  | Seq n -> Printf.sprintf "Seq %d" n
+  | Dim2 (h, w) -> Printf.sprintf "Dim2 %dx%d" h w
+  | Dim3 (d, h, w) -> Printf.sprintf "Dim3 %dx%dx%d" d h w

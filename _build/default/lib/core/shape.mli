@@ -1,0 +1,37 @@
+(** Index domains: the [Domain] type class of the paper (section 3.3).
+
+    A shape describes an iteration space; its type parameter is the type
+    of indices it contains (the paper's associated type [Index d]). *)
+
+type _ t =
+  | Seq : int -> int t  (** 1-D space of the given length *)
+  | Dim2 : int * int -> (int * int) t  (** height x width *)
+  | Dim3 : int * int * int -> (int * int * int) t  (** depth x height x width *)
+
+val seq : int -> int t
+val dim2 : int -> int -> (int * int) t
+val dim3 : int -> int -> int -> (int * int * int) t
+
+val size : _ t -> int
+(** Number of indices in the domain. *)
+
+val linear : 'i t -> 'i -> int
+(** Row-major linearization. *)
+
+val of_linear : 'i t -> int -> 'i
+(** Inverse of {!linear}. *)
+
+val mem : 'i t -> 'i -> bool
+
+val fold : 'i t -> ('a -> 'i -> 'a) -> 'a -> 'a
+(** Fold over all indices in row-major order — the [idxToFold]
+    conversion, overloaded per domain. *)
+
+val iter : 'i t -> ('i -> unit) -> unit
+
+val intersect : 'i t -> 'i t -> 'i t
+(** Pointwise minimum of extents: the common sub-domain visited by
+    [zipWith]. *)
+
+val equal : 'i t -> 'i t -> bool
+val to_string : _ t -> string

@@ -1,0 +1,117 @@
+(** Low-level skeletons: the glue between iterator consumers and the
+    runtime (paper, section 3.4: "A skeleton in the library consists of
+    code that, depending on the input iterator's parallelism hint,
+    invokes low-level skeletons for distributing work across nodes,
+    cores within a node, and/or sequential loop iterations in a task").
+
+    These functions know nothing about iterators; they distribute
+    abstract chunk ranges and payloads.  The [Iter]/[Iter2] consumers
+    instantiate them with chunk bodies built from the iterator. *)
+
+module Pool = Triolet_runtime.Pool
+module Cluster = Triolet_runtime.Cluster
+module Partition = Triolet_runtime.Partition
+module Payload = Triolet_base.Payload
+module Codec = Triolet_base.Codec
+
+(* A single-threaded pool for flat (Eden-model) node execution. *)
+let seq_pool_ref : Pool.t option ref = ref None
+
+let seq_pool () =
+  match !seq_pool_ref with
+  | Some p -> p
+  | None ->
+      let p = Pool.create ~workers:1 () in
+      seq_pool_ref := Some p;
+      p
+
+(** Shared-memory parallel reduction over [len] outer iterations, split
+    into chunks executed by the work-stealing pool.  [chunk off n]
+    computes the partial result for outer range [off, off+n);
+    per-worker partials are merged locally first. *)
+let local_reduce_with pool ~len ~chunk ~merge ~init =
+  if len <= 0 then init
+  else begin
+    let parts =
+      Partition.chunk_count ~multiplier:!Config.chunk_multiplier
+        ~workers:(Pool.size pool) len
+    in
+    let chunks = Partition.blocks ~parts len in
+    Pool.parallel_chunks pool ~chunks ~f:chunk ~merge ~init
+  end
+
+let local_reduce ~len ~chunk ~merge ~init =
+  local_reduce_with (Pool.default ()) ~len ~chunk ~merge ~init
+
+(** Order-preserving chunked map: runs [chunk] over each block of
+    [len] on the pool and returns the per-block results in block order.
+    Used by consumers that pack variable-length output, where
+    concatenation order matters. *)
+let local_map_chunks_with pool ~len ~chunk =
+  if len <= 0 then [||]
+  else begin
+    let parts =
+      Partition.chunk_count ~multiplier:!Config.chunk_multiplier
+        ~workers:(Pool.size pool) len
+    in
+    let blocks = Partition.blocks ~parts len in
+    let out = Array.make (Array.length blocks) None in
+    Pool.parallel_for pool ~lo:0 ~hi:(Array.length blocks) (fun k ->
+        let off, n = blocks.(k) in
+        out.(k) <- Some (chunk off n));
+    Array.map Option.get out
+  end
+
+let local_map_chunks ~len ~chunk =
+  local_map_chunks_with (Pool.default ()) ~len ~chunk
+
+(** Distributed reduction: partition [len] outer iterations across the
+    configured cluster, ship each node its payload (serialized), run
+    [node_work] against the decoded payload with intra-node parallelism,
+    and merge the nodes' serialized replies.  In flat mode the work
+    units are single-core processes. *)
+let distributed_reduce ~len ~payload_of ~node_work ~result_codec ~merge ~init
+    =
+  let cfg = Config.get_cluster () in
+  let workers =
+    if cfg.Cluster.flat then cfg.Cluster.nodes * cfg.Cluster.cores_per_node
+    else cfg.Cluster.nodes
+  in
+  let blocks = Partition.blocks ~parts:workers len in
+  let nblocks = Array.length blocks in
+  let pool = if cfg.Cluster.flat then seq_pool () else Pool.default () in
+  let result, _report =
+    Cluster.run ~pool cfg
+      ~scatter:(fun node ->
+        if node < nblocks then
+          let off, n = blocks.(node) in
+          payload_of off n
+        else Payload.empty)
+      ~work:(fun ~node ~pool payload ->
+        if node < nblocks then Some (node_work ~pool payload) else None)
+      ~result_codec:(Codec.option result_codec)
+      ~merge:(fun acc r ->
+        match r with None -> acc | Some v -> merge acc v)
+      ~init
+  in
+  result
+
+(** Distributed map in block order: like {!distributed_reduce} but
+    returns the per-node results as an array indexed by block. *)
+let distributed_map_blocks ~blocks ~payload_of ~node_work ~result_codec =
+  let cfg = Config.get_cluster () in
+  let nblocks = Array.length blocks in
+  let pool = if cfg.Cluster.flat then seq_pool () else Pool.default () in
+  let results = ref [] in
+  let (), _report =
+    Cluster.run ~pool
+      { cfg with Cluster.nodes = nblocks; flat = false }
+      ~scatter:(fun node -> payload_of blocks.(node))
+      ~work:(fun ~node ~pool payload -> (node, node_work ~pool payload))
+      ~result_codec:(Codec.pair Codec.int result_codec)
+      ~merge:(fun () (node, r) -> results := (node, r) :: !results)
+      ~init:()
+  in
+  let out = Array.make nblocks None in
+  List.iter (fun (node, r) -> out.(node) <- Some r) !results;
+  Array.map Option.get out

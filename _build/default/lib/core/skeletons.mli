@@ -1,0 +1,49 @@
+(** Low-level skeletons: the glue between iterator consumers and the
+    runtime (paper, section 3.4).  These know nothing about iterators;
+    they distribute abstract chunk ranges and payloads.  [Iter] and
+    [Iter2] instantiate them with chunk bodies built from iterators. *)
+
+val seq_pool : unit -> Triolet_runtime.Pool.t
+(** Shared 1-wide pool for flat (process-per-core) node execution. *)
+
+val local_reduce_with :
+  Triolet_runtime.Pool.t ->
+  len:int ->
+  chunk:(int -> int -> 'r) ->
+  merge:('r -> 'r -> 'r) ->
+  init:'r ->
+  'r
+(** Shared-memory parallel reduction over [len] outer iterations:
+    work-stealing chunks, per-worker local merging first. *)
+
+val local_reduce :
+  len:int -> chunk:(int -> int -> 'r) -> merge:('r -> 'r -> 'r) -> init:'r -> 'r
+(** {!local_reduce_with} on the default pool. *)
+
+val local_map_chunks_with :
+  Triolet_runtime.Pool.t -> len:int -> chunk:(int -> int -> 'r) -> 'r array
+(** Order-preserving chunked map: per-block results in block order, for
+    consumers that pack variable-length output. *)
+
+val local_map_chunks : len:int -> chunk:(int -> int -> 'r) -> 'r array
+
+val distributed_reduce :
+  len:int ->
+  payload_of:(int -> int -> Triolet_base.Payload.t) ->
+  node_work:(pool:Triolet_runtime.Pool.t -> Triolet_base.Payload.t -> 'r) ->
+  result_codec:'r Triolet_base.Codec.t ->
+  merge:('r -> 'r -> 'r) ->
+  init:'r ->
+  'r
+(** Partition [len] outer iterations across the configured cluster, ship
+    each worker its serialized payload slice, run [node_work] against
+    the decoded payload with intra-node parallelism, merge the
+    serialized replies. *)
+
+val distributed_map_blocks :
+  blocks:'blk array ->
+  payload_of:('blk -> Triolet_base.Payload.t) ->
+  node_work:(pool:Triolet_runtime.Pool.t -> Triolet_base.Payload.t -> 'r) ->
+  result_codec:'r Triolet_base.Codec.t ->
+  'r array
+(** One worker per block; results returned in block order. *)

@@ -1,0 +1,263 @@
+(** The stepper encoding: a fusible coroutine yielding one element per
+    resumption (paper, section 3.1, "Steppers").
+
+    This is stream fusion in the style of Coutts, Leshchinskiy and
+    Stewart: a suspended loop state plus a step function returning
+    [Yield]/[Skip]/[Done].  [Skip] lets [filter] drop an element without
+    recursion, which is what keeps the encoding fusible.  Steppers are
+    inherently sequential — only the "next" element is reachable — so
+    they sit inside the parallel outer layers of hybrid iterators. *)
+
+type ('a, 's) step = Yield of 'a * 's | Skip of 's | Done
+
+type 'a t = Stepper : 's * ('s -> ('a, 's) step) -> 'a t
+
+let empty = Stepper ((), fun () -> Done)
+
+(** One-element stepper: [unitStep] in the paper's filter equation. *)
+let singleton x =
+  Stepper (false, function false -> Yield (x, true) | true -> Done)
+
+let unfold seed next = Stepper (seed, next)
+
+let range lo hi =
+  Stepper (lo, fun i -> if i >= hi then Done else Yield (i, i + 1))
+
+let of_array a =
+  Stepper
+    ( 0,
+      fun i ->
+        if i >= Array.length a then Done else Yield (Array.unsafe_get a i, i + 1)
+    )
+
+let of_floatarray (a : floatarray) =
+  Stepper
+    ( 0,
+      fun i ->
+        if i >= Float.Array.length a then Done
+        else Yield (Float.Array.unsafe_get a i, i + 1) )
+
+let of_list l =
+  Stepper (l, function [] -> Done | x :: rest -> Yield (x, rest))
+
+let map f (Stepper (s0, next)) =
+  let step s =
+    match next s with
+    | Yield (x, s') -> Yield (f x, s')
+    | Skip s' -> Skip s'
+    | Done -> Done
+  in
+  Stepper (s0, step)
+
+(** [filterStep] of the paper: dropped elements become [Skip]s, so the
+    consumer's loop continues without producing a value. *)
+let filter p (Stepper (s0, next)) =
+  let step s =
+    match next s with
+    | Yield (x, s') -> if p x then Yield (x, s') else Skip s'
+    | Skip s' -> Skip s'
+    | Done -> Done
+  in
+  Stepper (s0, step)
+
+let filter_map f (Stepper (s0, next)) =
+  let step s =
+    match next s with
+    | Yield (x, s') -> (
+        match f x with Some y -> Yield (y, s') | None -> Skip s')
+    | Skip s' -> Skip s'
+    | Done -> Done
+  in
+  Stepper (s0, step)
+
+(** Zip proceeds by holding at most one pending element from the left
+    stream while the right stream catches up. *)
+let zip (Stepper (sa0, na)) (Stepper (sb0, nb)) =
+  let step (sa, sb, pending) =
+    match pending with
+    | None -> (
+        match na sa with
+        | Yield (a, sa') -> Skip (sa', sb, Some a)
+        | Skip sa' -> Skip (sa', sb, None)
+        | Done -> Done)
+    | Some a -> (
+        match nb sb with
+        | Yield (b, sb') -> Yield ((a, b), (sa, sb', None))
+        | Skip sb' -> Skip (sa, sb', Some a)
+        | Done -> Done)
+  in
+  Stepper ((sa0, sb0, None), step)
+
+let zip_with f a b = map (fun (x, y) -> f x y) (zip a b)
+
+let enumerate (Stepper (s0, next)) =
+  let step (i, s) =
+    match next s with
+    | Yield (x, s') -> Yield ((i, x), (i + 1, s'))
+    | Skip s' -> Skip (i, s')
+    | Done -> Done
+  in
+  Stepper ((0, s0), step)
+
+let append (Stepper (sa0, na)) (Stepper (sb0, nb)) =
+  let step = function
+    | `Left (sa, sb) -> (
+        match na sa with
+        | Yield (x, sa') -> Yield (x, `Left (sa', sb))
+        | Skip sa' -> Skip (`Left (sa', sb))
+        | Done -> Skip (`Right sb))
+    | `Right sb -> (
+        match nb sb with
+        | Yield (x, sb') -> Yield (x, `Right sb')
+        | Skip sb' -> Skip (`Right sb')
+        | Done -> Done)
+  in
+  Stepper (`Left (sa0, sb0), step)
+
+(** Nested traversal: run an inner stepper to exhaustion per outer
+    element.  The state carries the suspended inner stepper, so the
+    whole nest remains a single non-allocating-per-element loop. *)
+let concat_map f (Stepper (s0, next)) =
+  let step (s, inner) =
+    match inner with
+    | Some (Stepper (is, inext)) -> (
+        match inext is with
+        | Yield (x, is') -> Yield (x, (s, Some (Stepper (is', inext))))
+        | Skip is' -> Skip (s, Some (Stepper (is', inext)))
+        | Done -> Skip (s, None))
+    | None -> (
+        match next s with
+        | Yield (x, s') -> Skip (s', Some (f x))
+        | Skip s' -> Skip (s', None)
+        | Done -> Done)
+  in
+  Stepper ((s0, None), step)
+
+let concat ss = concat_map (fun s -> s) ss
+
+let take n (Stepper (s0, next)) =
+  let step (k, s) =
+    if k >= n then Done
+    else
+      match next s with
+      | Yield (x, s') -> Yield (x, (k + 1, s'))
+      | Skip s' -> Skip (k, s')
+      | Done -> Done
+  in
+  Stepper ((0, s0), step)
+
+let drop n (Stepper (s0, next)) =
+  let step (k, s) =
+    match next s with
+    | Yield (x, s') -> if k < n then Skip (k + 1, s') else Yield (x, (k, s'))
+    | Skip s' -> Skip (k, s')
+    | Done -> Done
+  in
+  Stepper ((0, s0), step)
+
+let fold f init (Stepper (s0, next)) =
+  let rec loop acc s =
+    match next s with
+    | Yield (x, s') -> loop (f acc x) s'
+    | Skip s' -> loop acc s'
+    | Done -> acc
+  in
+  loop init s0
+
+let iter f st = fold (fun () x -> f x) () st
+
+let length st = fold (fun n _ -> n + 1) 0 st
+
+let to_list st = List.rev (fold (fun acc x -> x :: acc) [] st)
+
+let to_vec dummy st =
+  let v = Triolet_base.Vec.create dummy in
+  iter (Triolet_base.Vec.push v) st;
+  v
+
+let sum_float st = fold (fun acc x -> acc +. x) 0.0 st
+
+let sum_int st = fold (fun acc x -> acc + x) 0 st
+
+let take_while p (Stepper (s0, next)) =
+  let step s =
+    match next s with
+    | Yield (x, s') -> if p x then Yield (x, s') else Done
+    | Skip s' -> Skip s'
+    | Done -> Done
+  in
+  Stepper (s0, step)
+
+let drop_while p (Stepper (s0, next)) =
+  let step (dropping, s) =
+    match next s with
+    | Yield (x, s') ->
+        if dropping && p x then Skip (true, s') else Yield (x, (false, s'))
+    | Skip s' -> Skip (dropping, s')
+    | Done -> Done
+  in
+  Stepper ((true, s0), step)
+
+(** Prefix sums: yields the running accumulator after each element. *)
+let scan f init (Stepper (s0, next)) =
+  let step (acc, s) =
+    match next s with
+    | Yield (x, s') ->
+        let acc' = f acc x in
+        Yield (acc', (acc', s'))
+    | Skip s' -> Skip (acc, s')
+    | Done -> Done
+  in
+  Stepper ((init, s0), step)
+
+let exists p st = fold (fun found x -> found || p x) false st
+
+let for_all p st = fold (fun ok x -> ok && p x) true st
+
+let find p (Stepper (s0, next)) =
+  let rec loop s =
+    match next s with
+    | Yield (x, s') -> if p x then Some x else loop s'
+    | Skip s' -> loop s'
+    | Done -> None
+  in
+  loop s0
+
+let min_float st =
+  fold (fun m x -> Float.min m x) Float.infinity st
+
+let max_float st =
+  fold (fun m x -> Float.max m x) Float.neg_infinity st
+
+let equal eq a b =
+  let rec loop (Stepper (sa, na)) (Stepper (sb, nb)) =
+    let rec advance s next =
+      match next s with
+      | Yield (x, s') -> Some (x, Stepper (s', next))
+      | Skip s' -> advance s' next
+      | Done -> None
+    in
+    match (advance sa na, advance sb nb) with
+    | None, None -> true
+    | Some (x, a'), Some (y, b') -> eq x y && loop a' b'
+    | None, Some _ | Some _, None -> false
+  in
+  loop a b
+
+(** Interop with the standard library's [Seq]: a stepper steps an
+    on-demand [Seq.t] node by node. *)
+let of_seq (seq : 'a Seq.t) =
+  Stepper
+    ( seq,
+      fun s ->
+        match s () with Seq.Nil -> Done | Seq.Cons (x, rest) -> Yield (x, rest)
+    )
+
+let to_seq (Stepper (s0, next)) =
+  let rec walk s () =
+    match next s with
+    | Yield (x, s') -> Seq.Cons (x, walk s')
+    | Skip s' -> walk s' ()
+    | Done -> Seq.Nil
+  in
+  walk s0

@@ -1,0 +1,1 @@
+lib/harness/calibrate.ml: Cutcp Dataset Float List Mriq Sgemm Tpacf Triolet Triolet_kernels Triolet_runtime Unix

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Buffer Calibrate Float List Models Printf Table Triolet_kernels Triolet_sim

@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Calibrate Triolet_kernels Triolet_sim

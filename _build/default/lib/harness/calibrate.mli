@@ -1,0 +1,19 @@
+(** Calibration runs: real measured timings that anchor the simulator
+    (see DESIGN.md, Substitutions). *)
+
+type style_times = {
+  kernel : string;
+  c_time : float;
+  triolet_time : float;
+  eden_time : float;
+}
+
+val run_fig3 : ?scale:float -> unit -> style_times list
+(** Measures the three implementation styles of each kernel on
+    scaled-down instances, checking that they agree; the data behind
+    Figure 3.  Raises [Failure] if any style disagrees with the
+    reference. *)
+
+val efficiencies : style_times list -> string -> string -> float
+(** [efficiencies times system kernel]: fraction of C-style speed the
+    given system reaches on the given kernel, clamped away from zero. *)

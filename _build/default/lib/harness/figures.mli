@@ -1,0 +1,52 @@
+(** Regeneration of every table and figure in the paper's evaluation.
+    Figure 3 is measured; Figures 4, 5, 7, 8 are simulated from
+    calibrated costs.  Generators print their tables and return the
+    data. *)
+
+type context = {
+  times : Calibrate.style_times list;
+  rates : Triolet_kernels.Models.rates;
+  efficiency : string -> string -> float;
+  measured_efficiency : bool;
+      (** feed measured style ratios (instead of the paper's reported
+          ones) into the simulator profiles; see EXPERIMENTS.md *)
+}
+
+val make_context : ?scale:float -> ?measured_efficiency:bool -> unit -> context
+
+val model_of : context -> string -> Triolet_sim.App_model.t
+val profiles : context -> Triolet_sim.Profile.t list
+
+val fig1 : unit -> unit
+(** The encoding feature matrix. *)
+
+val fig3 : context -> Calibrate.style_times list
+(** Measured sequential times of the three styles per kernel. *)
+
+val scalability : context -> string -> Triolet_sim.Speedup.series list
+val fig4 : context -> Triolet_sim.Speedup.series list
+val fig5 : context -> Triolet_sim.Speedup.series list
+val fig7 : context -> Triolet_sim.Speedup.series list
+val fig8 : context -> Triolet_sim.Speedup.series list
+
+val series_to_tsv : Triolet_sim.Speedup.series list -> string
+(** Plot-ready TSV of a scalability sweep (failed points are "nan"). *)
+
+val summary :
+  context -> (string * string * string * string * float option) list
+(** Headline claims: Triolet vs C+MPI+OpenMP and vs sequential C at 128
+    cores. *)
+
+val ablation_gc : context -> float
+(** GC share of Triolet's sgemm overhead at 8 nodes; returns the share
+    in percent. *)
+
+val ablation_slicing : context -> unit
+val ablation_twolevel : context -> unit
+val ablation_scheduling : context -> unit
+
+val ablation_gather : context -> unit
+(** Extension: binary-tree gather vs sequential main-process gather on
+    the output-bound cutcp. *)
+
+val all : ?scale:float -> ?measured_efficiency:bool -> unit -> context

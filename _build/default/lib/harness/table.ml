@@ -1,0 +1,57 @@
+(** Plain-text table and series rendering for the figure harness. *)
+
+let hrule widths =
+  String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+let pad w s =
+  let n = String.length s in
+  if n >= w then s else s ^ String.make (w - n) ' '
+
+(** Render [rows] (first row = header) with auto-sized columns. *)
+let render rows =
+  match rows with
+  | [] -> ""
+  | header :: _ ->
+      let cols = List.length header in
+      let widths =
+        List.init cols (fun c ->
+            List.fold_left
+              (fun acc row ->
+                match List.nth_opt row c with
+                | Some s -> max acc (String.length s)
+                | None -> acc)
+              0 rows)
+      in
+      let line row =
+        String.concat " | " (List.map2 pad widths row)
+      in
+      let body =
+        match rows with
+        | h :: rest ->
+            line h :: hrule widths :: List.map line rest
+        | [] -> []
+      in
+      String.concat "\n" body
+
+let print rows = print_endline (render rows)
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+
+let seconds v =
+  if v >= 100.0 then Printf.sprintf "%.0f s" v
+  else if v >= 1.0 then Printf.sprintf "%.1f s" v
+  else if v >= 1e-3 then Printf.sprintf "%.1f ms" (v *. 1e3)
+  else Printf.sprintf "%.1f us" (v *. 1e6)
+
+let bytes v =
+  let fv = float_of_int v in
+  if v >= 1 lsl 30 then Printf.sprintf "%.2f GiB" (fv /. 1073741824.0)
+  else if v >= 1 lsl 20 then Printf.sprintf "%.2f MiB" (fv /. 1048576.0)
+  else if v >= 1 lsl 10 then Printf.sprintf "%.1f KiB" (fv /. 1024.0)
+  else Printf.sprintf "%d B" v
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar

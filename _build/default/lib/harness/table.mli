@@ -1,0 +1,19 @@
+(** Plain-text table and series rendering for the figure harness. *)
+
+val render : string list list -> string
+(** First row is the header; columns are auto-sized. *)
+
+val print : string list list -> unit
+
+val f1 : float -> string
+val f2 : float -> string
+val f3 : float -> string
+
+val seconds : float -> string
+(** Human-readable duration. *)
+
+val bytes : int -> string
+(** Human-readable byte count. *)
+
+val heading : string -> unit
+(** Prints an underlined section title. *)

@@ -1,0 +1,1 @@
+lib/kernels/cutcp.ml: Dataset Float Iter List Seq_iter Triolet Triolet_baselines

@@ -1,0 +1,1 @@
+lib/kernels/cutcp.mli: Dataset Triolet

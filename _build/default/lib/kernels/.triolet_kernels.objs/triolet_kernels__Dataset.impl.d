@@ -1,0 +1,1 @@
+lib/kernels/dataset.ml: Array Float Triolet Triolet_base

@@ -1,0 +1,1 @@
+lib/kernels/dataset.mli: Triolet Triolet_base

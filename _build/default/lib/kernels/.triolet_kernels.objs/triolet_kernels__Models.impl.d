@@ -1,0 +1,1 @@
+lib/kernels/models.ml: Cutcp Dataset Mriq Sgemm Tpacf Triolet_runtime Triolet_sim Unix

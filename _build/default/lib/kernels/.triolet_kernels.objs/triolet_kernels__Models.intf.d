@@ -1,0 +1,1 @@
+lib/kernels/models.mli: Triolet_sim

@@ -1,0 +1,1 @@
+lib/kernels/mriq.ml: Dataset Float Iter List Triolet Triolet_baselines

@@ -1,0 +1,1 @@
+lib/kernels/mriq.mli: Dataset Triolet

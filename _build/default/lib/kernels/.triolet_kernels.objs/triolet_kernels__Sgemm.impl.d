@@ -1,0 +1,1 @@
+lib/kernels/sgemm.ml: Array Float Iter2 List Matrix Triolet Triolet_baselines Triolet_runtime

@@ -1,0 +1,1 @@
+lib/kernels/sgemm.mli: Triolet

@@ -1,0 +1,1 @@
+lib/kernels/tpacf.ml: Array Dataset Float Iter List Seq_iter Triolet Triolet_base Triolet_baselines

@@ -1,0 +1,1 @@
+lib/kernels/tpacf.mli: Dataset

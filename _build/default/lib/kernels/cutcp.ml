@@ -1,0 +1,177 @@
+(** cutcp: cutoff Coulombic potential on a 3-D grid (paper, section
+    4.5).
+
+    For each charged atom, visit every grid point within cutoff distance
+    c and add the atom's contribution q * (1/r - 1/c); points beyond the
+    cutoff are skipped.  The computation is a floating-point histogram:
+    a nested, irregular loop (atoms -> nearby grid points -> conditional
+    update) that conventional fusion frameworks cannot fuse, and the
+    motivating example of the paper's introduction.
+
+    - [run_c]: nested loops and conditionals over unboxed arrays;
+    - [run_triolet]: atoms |> par |> concat_map (grid points near the
+      atom) |> scatter_add — the list-comprehension structure
+      [floatHist [f a r | a <- atoms, r <- gridPts a]];
+    - [run_eden]: the boxed-list equivalent. *)
+
+open Triolet
+module D = Dataset
+
+let grid_index (c : D.cutcp) ix iy iz =
+  ((iz * c.D.ny) + iy) * c.D.nx + ix
+
+(* Neighborhood box of an atom: inclusive index bounds clipped to the
+   grid. *)
+let bounds (c : D.cutcp) x lo_n =
+  let lo = int_of_float (ceil ((x -. c.D.cutoff) /. c.D.spacing)) in
+  let hi = int_of_float (floor ((x +. c.D.cutoff) /. c.D.spacing)) in
+  (max 0 lo, min (lo_n - 1) hi)
+
+let contribution (c : D.cutcp) ~x ~y ~z ~q ix iy iz =
+  let gx = float_of_int ix *. c.D.spacing in
+  let gy = float_of_int iy *. c.D.spacing in
+  let gz = float_of_int iz *. c.D.spacing in
+  let dx = gx -. x and dy = gy -. y and dz = gz -. z in
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+  if r2 > 0.0 && r2 < c.D.cutoff *. c.D.cutoff then
+    let r = sqrt r2 in
+    Some (q *. ((1.0 /. r) -. (1.0 /. c.D.cutoff)))
+  else None
+
+(* ------------------------------------------------------------------ *)
+
+let run_c (c : D.cutcp) : floatarray =
+  let grid = Float.Array.make (D.grid_points c) 0.0 in
+  let atoms = Float.Array.length c.D.ax in
+  for a = 0 to atoms - 1 do
+    let x = Float.Array.unsafe_get c.D.ax a
+    and y = Float.Array.unsafe_get c.D.ay a
+    and z = Float.Array.unsafe_get c.D.az a
+    and q = Float.Array.unsafe_get c.D.aq a in
+    let x0, x1 = bounds c x c.D.nx in
+    let y0, y1 = bounds c y c.D.ny in
+    let z0, z1 = bounds c z c.D.nz in
+    for iz = z0 to z1 do
+      for iy = y0 to y1 do
+        for ix = x0 to x1 do
+          match contribution c ~x ~y ~z ~q ix iy iz with
+          | Some v ->
+              let g = grid_index c ix iy iz in
+              Float.Array.unsafe_set grid g (Float.Array.unsafe_get grid g +. v)
+          | None -> ()
+        done
+      done
+    done
+  done;
+  grid
+
+(* ------------------------------------------------------------------ *)
+
+(* Grid points near one atom, as a fusible nested loop: three nested
+   ranges with a filter — irregularity stays in inner steppers while
+   the atom loop remains partitionable. *)
+let grid_pts (c : D.cutcp) (x, y, z, q) =
+  let x0, x1 = bounds c x c.D.nx in
+  let y0, y1 = bounds c y c.D.ny in
+  let z0, z1 = bounds c z c.D.nz in
+  Seq_iter.range z0 (z1 + 1)
+  |> Seq_iter.concat_map (fun iz ->
+         Seq_iter.range y0 (y1 + 1)
+         |> Seq_iter.concat_map (fun iy ->
+                Seq_iter.range x0 (x1 + 1)
+                |> Seq_iter.concat_map (fun ix ->
+                       match contribution c ~x ~y ~z ~q ix iy iz with
+                       | Some v ->
+                           Seq_iter.singleton (grid_index c ix iy iz, v)
+                       | None -> Seq_iter.empty)))
+
+let run_triolet ?(hint = Iter.par) (c : D.cutcp) : floatarray =
+  let atoms =
+    Iter.zip
+      (Iter.zip3
+         (Iter.of_floatarray c.D.ax)
+         (Iter.of_floatarray c.D.ay)
+         (Iter.of_floatarray c.D.az))
+      (Iter.of_floatarray c.D.aq)
+  in
+  let atoms = Iter.map (fun ((x, y, z), q) -> (x, y, z, q)) atoms in
+  Iter.scatter_add ~size:(D.grid_points c)
+    (Iter.concat_map (grid_pts c) (hint atoms))
+
+(* ------------------------------------------------------------------ *)
+
+let run_eden (c : D.cutcp) : floatarray =
+  let module E = Triolet_baselines.Eden_list in
+  let to_list a = List.init (Float.Array.length a) (Float.Array.get a) in
+  let atoms =
+    E.zip (E.zip3 (to_list c.D.ax) (to_list c.D.ay) (to_list c.D.az))
+      (to_list c.D.aq)
+  in
+  let updates =
+    E.concat_map
+      (fun ((x, y, z), q) ->
+        let x0, x1 = bounds c x c.D.nx in
+        let y0, y1 = bounds c y c.D.ny in
+        let z0, z1 = bounds c z c.D.nz in
+        List.concat_map
+          (fun iz ->
+            List.concat_map
+              (fun iy ->
+                List.filter_map
+                  (fun ix ->
+                    match contribution c ~x ~y ~z ~q ix iy iz with
+                    | Some v -> Some (grid_index c ix iy iz, v)
+                    | None -> None)
+                  (List.init (x1 - x0 + 1) (fun k -> x0 + k)))
+              (List.init (y1 - y0 + 1) (fun k -> y0 + k)))
+          (List.init (z1 - z0 + 1) (fun k -> z0 + k)))
+      atoms
+  in
+  E.weighted_histogram ~bins:(D.grid_points c) updates
+
+(* ------------------------------------------------------------------ *)
+
+let agrees ?(eps = 1e-9) g1 g2 =
+  Float.Array.length g1 = Float.Array.length g2
+  &&
+  let ok = ref true in
+  for i = 0 to Float.Array.length g1 - 1 do
+    let a = Float.Array.get g1 i and b = Float.Array.get g2 i in
+    let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+    if Float.abs (a -. b) > eps *. scale then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+
+(* Gather formulation over a 3-D iterator: for each grid point, sum the
+   contributions of every atom within the cutoff.  This is the
+   inverse-direction variant GPU implementations of cutcp use (the
+   scatter version above matches the paper's CPU code); it exercises
+   the Dim3 domain of section 3.3 with z-slab distribution.  O(points x
+   atoms) without a spatial index, so it suits small boxes. *)
+let run_gather ?(hint = Triolet.Iter3.par) (c : D.cutcp) : floatarray =
+  let atoms = Float.Array.length c.D.ax in
+  let cut2 = c.D.cutoff *. c.D.cutoff in
+  let potential x y z =
+    let gx = float_of_int x *. c.D.spacing in
+    let gy = float_of_int y *. c.D.spacing in
+    let gz = float_of_int z *. c.D.spacing in
+    let acc = ref 0.0 in
+    for a = 0 to atoms - 1 do
+      let dx = gx -. Float.Array.unsafe_get c.D.ax a in
+      let dy = gy -. Float.Array.unsafe_get c.D.ay a in
+      let dz = gz -. Float.Array.unsafe_get c.D.az a in
+      let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+      if r2 > 0.0 && r2 < cut2 then
+        acc :=
+          !acc
+          +. Float.Array.unsafe_get c.D.aq a
+             *. ((1.0 /. sqrt r2) -. (1.0 /. c.D.cutoff))
+    done;
+    !acc
+  in
+  let it =
+    Triolet.Iter3.init ~nx:c.D.nx ~ny:c.D.ny ~nz:c.D.nz potential
+  in
+  Triolet.Grid3.data (Triolet.Iter3.build (hint it))

@@ -1,0 +1,32 @@
+(** cutcp: cutoff Coulombic potential on a 3-D grid (paper, sections 1
+    and 4.5) — the motivating floating-point histogram: a parallel loop
+    over atoms, an irregular inner loop over nearby grid points, and a
+    scatter-add of contributions q * (1/r - 1/c). *)
+
+val grid_index : Dataset.cutcp -> int -> int -> int -> int
+(** Linear index of grid point (ix, iy, iz). *)
+
+val run_c : Dataset.cutcp -> floatarray
+(** Nested loops and conditionals over unboxed arrays. *)
+
+val run_triolet :
+  ?hint:
+    ((float * float * float * float) Triolet.Iter.t ->
+     (float * float * float * float) Triolet.Iter.t) ->
+  Dataset.cutcp ->
+  floatarray
+(** atoms |> par |> concat_map gridPts |> scatter_add — the paper's
+    [floatHist [f a r | a <- atoms, r <- gridPts a]].  [hint] defaults
+    to [Iter.par]. *)
+
+val run_eden : Dataset.cutcp -> floatarray
+
+val agrees : ?eps:float -> floatarray -> floatarray -> bool
+
+val run_gather :
+  ?hint:(float Triolet.Iter3.t -> float Triolet.Iter3.t) ->
+  Dataset.cutcp ->
+  floatarray
+(** Gather formulation over a 3-D iterator (one sum per grid point, the
+    GPU-style variant), distributed in z-slabs.  Agrees with {!run_c}
+    up to floating-point rounding. *)

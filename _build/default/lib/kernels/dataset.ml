@@ -1,0 +1,122 @@
+(** Deterministic synthetic datasets with the Parboil benchmarks'
+    shapes.
+
+    The paper evaluates on Parboil inputs that are not redistributable;
+    these generators produce inputs with the same structure (sample
+    arrays, matrices, point catalogs, atom boxes) from explicit seeds,
+    so every run of the reproduction sees identical data (see DESIGN.md,
+    Substitutions). *)
+
+module Rng = Triolet_base.Rng
+
+(* ------------------------------------------------------------------ *)
+(* mri-q: K-space samples and image-space voxel coordinates            *)
+
+type mriq = {
+  kx : floatarray;
+  ky : floatarray;
+  kz : floatarray;
+  phi_r : floatarray;
+  phi_i : floatarray;  (** K samples *)
+  x : floatarray;
+  y : floatarray;
+  z : floatarray;  (** N voxels *)
+}
+
+let mriq ~seed ~samples ~voxels =
+  let rng = Rng.create seed in
+  let coord () = Rng.float_range rng (-1.0) 1.0 in
+  {
+    kx = Rng.floatarray rng samples (fun r -> Rng.float_range r (-0.5) 0.5);
+    ky = Rng.floatarray rng samples (fun r -> Rng.float_range r (-0.5) 0.5);
+    kz = Rng.floatarray rng samples (fun r -> Rng.float_range r (-0.5) 0.5);
+    phi_r = Rng.floatarray rng samples (fun r -> Rng.float_range r (-1.0) 1.0);
+    phi_i = Rng.floatarray rng samples (fun r -> Rng.float_range r (-1.0) 1.0);
+    x = Float.Array.init voxels (fun _ -> coord ());
+    y = Float.Array.init voxels (fun _ -> coord ());
+    z = Float.Array.init voxels (fun _ -> coord ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* sgemm: dense matrices                                               *)
+
+let sgemm_matrices ~seed ~m ~k ~n =
+  let rng = Rng.create seed in
+  let a = Triolet.Matrix.random rng m k (-1.0) 1.0 in
+  let b = Triolet.Matrix.random rng k n (-1.0) 1.0 in
+  (a, b)
+
+(* ------------------------------------------------------------------ *)
+(* tpacf: catalogs of points on the unit sphere                        *)
+
+type catalog = { cx : floatarray; cy : floatarray; cz : floatarray }
+
+let catalog_size c = Float.Array.length c.cx
+
+(** Uniform points on the sphere via normalized Gaussian-ish rejection
+    (a Box–Muller-free variant good enough for a workload generator). *)
+let catalog rng n =
+  let cx = Float.Array.create n
+  and cy = Float.Array.create n
+  and cz = Float.Array.create n in
+  for i = 0 to n - 1 do
+    let rec pick () =
+      let x = Rng.float_range rng (-1.0) 1.0 in
+      let y = Rng.float_range rng (-1.0) 1.0 in
+      let z = Rng.float_range rng (-1.0) 1.0 in
+      let r2 = (x *. x) +. (y *. y) +. (z *. z) in
+      if r2 > 1e-6 && r2 <= 1.0 then begin
+        let r = sqrt r2 in
+        (x /. r, y /. r, z /. r)
+      end
+      else pick ()
+    in
+    let x, y, z = pick () in
+    Float.Array.set cx i x;
+    Float.Array.set cy i y;
+    Float.Array.set cz i z
+  done;
+  { cx; cy; cz }
+
+type tpacf = { observed : catalog; randoms : catalog array }
+
+let tpacf ~seed ~points ~random_sets =
+  let rng = Rng.create seed in
+  {
+    observed = catalog rng points;
+    randoms = Array.init random_sets (fun _ -> catalog (Rng.split rng) points);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* cutcp: charged atoms in a periodic box over a potential grid        *)
+
+type cutcp = {
+  ax : floatarray;
+  ay : floatarray;
+  az : floatarray;
+  aq : floatarray;  (** atom positions and charges *)
+  nx : int;
+  ny : int;
+  nz : int;  (** grid extents *)
+  spacing : float;
+  cutoff : float;
+}
+
+let cutcp ~seed ~atoms ~nx ~ny ~nz ~spacing ~cutoff =
+  let rng = Rng.create seed in
+  let lx = float_of_int (nx - 1) *. spacing in
+  let ly = float_of_int (ny - 1) *. spacing in
+  let lz = float_of_int (nz - 1) *. spacing in
+  {
+    ax = Rng.floatarray rng atoms (fun r -> Rng.float_range r 0.0 lx);
+    ay = Rng.floatarray rng atoms (fun r -> Rng.float_range r 0.0 ly);
+    az = Rng.floatarray rng atoms (fun r -> Rng.float_range r 0.0 lz);
+    aq = Rng.floatarray rng atoms (fun r -> Rng.float_range r (-1.0) 1.0);
+    nx;
+    ny;
+    nz;
+    spacing;
+    cutoff;
+  }
+
+let grid_points c = c.nx * c.ny * c.nz

@@ -1,0 +1,61 @@
+(** Deterministic synthetic datasets with the Parboil benchmarks'
+    shapes (the paper's inputs are not redistributable; see DESIGN.md,
+    Substitutions). *)
+
+(** {1 mri-q} *)
+
+type mriq = {
+  kx : floatarray;
+  ky : floatarray;
+  kz : floatarray;
+  phi_r : floatarray;
+  phi_i : floatarray;  (** K samples *)
+  x : floatarray;
+  y : floatarray;
+  z : floatarray;  (** N voxels *)
+}
+
+val mriq : seed:int -> samples:int -> voxels:int -> mriq
+
+(** {1 sgemm} *)
+
+val sgemm_matrices :
+  seed:int -> m:int -> k:int -> n:int -> Triolet.Matrix.t * Triolet.Matrix.t
+
+(** {1 tpacf} *)
+
+type catalog = { cx : floatarray; cy : floatarray; cz : floatarray }
+(** Unit vectors on the sphere. *)
+
+val catalog_size : catalog -> int
+val catalog : Triolet_base.Rng.t -> int -> catalog
+
+type tpacf = { observed : catalog; randoms : catalog array }
+
+val tpacf : seed:int -> points:int -> random_sets:int -> tpacf
+
+(** {1 cutcp} *)
+
+type cutcp = {
+  ax : floatarray;
+  ay : floatarray;
+  az : floatarray;
+  aq : floatarray;  (** atom positions and charges *)
+  nx : int;
+  ny : int;
+  nz : int;
+  spacing : float;
+  cutoff : float;
+}
+
+val cutcp :
+  seed:int ->
+  atoms:int ->
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  spacing:float ->
+  cutoff:float ->
+  cutcp
+
+val grid_points : cutcp -> int

@@ -1,0 +1,25 @@
+(** Calibrated simulator models of the four benchmarks at the paper's
+    problem sizes: per-unit compute costs from rates measured on this
+    machine, communication volumes from the same slice-size formulas the
+    real iterator runtime uses. *)
+
+type rates = {
+  mriq_pair_s : float;  (** one (voxel, sample) contribution, C style *)
+  sgemm_mac_s : float;  (** one multiply-accumulate *)
+  tpacf_pair_s : float;  (** one pair score + histogram update *)
+  cutcp_point_s : float;  (** one candidate grid-point visit *)
+}
+
+val default_rates : rates
+(** Typical one-core rates of the paper's hardware era, used when
+    calibration is skipped. *)
+
+val measure_rates : unit -> rates
+(** Times the real reference kernels on small instances. *)
+
+val mriq_model : ?rates:rates -> unit -> Triolet_sim.App_model.t
+val sgemm_model : ?rates:rates -> unit -> Triolet_sim.App_model.t
+val tpacf_model : ?rates:rates -> unit -> Triolet_sim.App_model.t
+val cutcp_model : ?rates:rates -> unit -> Triolet_sim.App_model.t
+
+val all : ?rates:rates -> unit -> Triolet_sim.App_model.t list

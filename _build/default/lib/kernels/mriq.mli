@@ -1,0 +1,22 @@
+(** mri-q: non-uniform 3-D inverse Fourier transform (paper, section
+    4.2).  Q(r) = sum over samples k of |phi(k)|^2 exp(2 pi i k.r). *)
+
+type result = { qr : floatarray; qi : floatarray }
+
+val run_c : Dataset.mriq -> result
+(** The "sequential C" stand-in: plain nested loops over unboxed
+    arrays; the normalization baseline of every figure. *)
+
+val run_triolet :
+  ?hint:
+    ((float * float * float) Triolet.Iter.t ->
+     (float * float * float) Triolet.Iter.t) ->
+  Dataset.mriq ->
+  result
+(** The paper's two-liner: a parallel map over voxels of a sequential
+    sum over samples.  [hint] defaults to [Iter.par]. *)
+
+val run_eden : Dataset.mriq -> result
+(** Eden-style boxed-list code. *)
+
+val agrees : ?eps:float -> result -> result -> bool

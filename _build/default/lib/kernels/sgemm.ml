@@ -1,0 +1,93 @@
+(** sgemm: scaled dense matrix product C = alpha * A * B (paper,
+    section 4.3).
+
+    All versions transpose B first so the inner loop runs over
+    contiguous memory, then use a 2-D block decomposition that sends
+    each worker only the input rows it needs.
+
+    - [run_c]: imperative loop nest over unboxed arrays;
+    - [run_triolet]: the paper's two-line rows/outerproduct version;
+    - [run_eden]: boxed list-of-rows representation with list dots. *)
+
+open Triolet
+
+let run_c ?(alpha = 1.0) (a : Matrix.t) (b : Matrix.t) : Matrix.t =
+  if Matrix.cols a <> Matrix.rows b then invalid_arg "Sgemm.run_c";
+  let bt = Matrix.transpose b in
+  let m = Matrix.rows a and n = Matrix.cols b and k = Matrix.cols a in
+  let da = Matrix.data a and dbt = Matrix.data bt in
+  let c = Matrix.create m n in
+  let dc = Matrix.data c in
+  for i = 0 to m - 1 do
+    let ai = i * k in
+    for j = 0 to n - 1 do
+      let bj = j * k in
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc :=
+          !acc
+          +. Float.Array.unsafe_get da (ai + l)
+             *. Float.Array.unsafe_get dbt (bj + l)
+      done;
+      Float.Array.unsafe_set dc ((i * n) + j) (alpha *. !acc)
+    done
+  done;
+  c
+
+(* The paper's code (section 2):
+     zipped_AB = outerproduct(rows(A), rows(BT))
+     AB = [dot(u, v) for (u, v) in par(zipped_AB)]
+   Transposition itself is parallelized over shared memory only
+   (localpar), being too cheap to distribute (section 4.3). *)
+let run_triolet ?(alpha = 1.0) ?(hint = Iter2.par) (a : Matrix.t)
+    (b : Matrix.t) : Matrix.t =
+  if Matrix.cols a <> Matrix.rows b then invalid_arg "Sgemm.run_triolet";
+  let bt = Matrix.transpose_par (Triolet_runtime.Pool.default ()) b in
+  let zipped_ab = Iter2.outer_product (Iter2.rows a) (Iter2.rows bt) in
+  Iter2.build
+    (hint (Iter2.map (fun (u, v) -> alpha *. Matrix.view_dot u v) zipped_ab))
+
+(* Eden-style, following the paper's Eden code: arrays are kept "in
+   chunked form" — boxed lists of unboxed row vectors — so tasks can be
+   distributed while array traversal stays efficient (section 4.1), and
+   the output assembly performs the random-access writes they had to
+   drop to mutable arrays for (section 4.1).  Transposition is the
+   boxed, sequential bottleneck of section 4.3. *)
+let run_eden ?(alpha = 1.0) (a : Matrix.t) (b : Matrix.t) : Matrix.t =
+  let module E = Triolet_baselines.Eden_list in
+  if Matrix.cols a <> Matrix.rows b then invalid_arg "Sgemm.run_eden";
+  let to_rows m =
+    List.init (Matrix.rows m) (fun i ->
+        Float.Array.init (Matrix.cols m) (fun j -> Matrix.unsafe_get m i j))
+  in
+  (* transpose over the boxed row list: one fresh vector per output
+     row, gathering element j of every input row *)
+  let transpose rows cols =
+    let arr = Array.of_list rows in
+    List.init cols (fun j ->
+        Float.Array.init (Array.length arr) (fun i ->
+            Float.Array.get arr.(i) j))
+  in
+  let dot (u : floatarray) (v : floatarray) =
+    let acc = ref 0.0 in
+    for i = 0 to Float.Array.length u - 1 do
+      acc := !acc +. (Float.Array.unsafe_get u i *. Float.Array.unsafe_get v i)
+    done;
+    !acc
+  in
+  let bt = transpose (to_rows b) (Matrix.cols b) in
+  let c_rows =
+    E.map
+      (fun u ->
+        Float.Array.of_list (E.map (fun v -> alpha *. dot u v) bt))
+      (to_rows a)
+  in
+  let m = Matrix.rows a and n = Matrix.cols b in
+  let c = Matrix.create m n in
+  List.iteri
+    (fun i row ->
+      Float.Array.iteri (fun j v -> Matrix.unsafe_set c i j v) row)
+    c_rows;
+  c
+
+let agrees ?(eps = 1e-9) c1 c2 = Matrix.equal_eps ~eps c1 c2

@@ -1,0 +1,21 @@
+(** sgemm: scaled dense matrix product C = alpha * A * B (paper, section
+    4.3), with B transposed first so inner loops run over contiguous
+    memory. *)
+
+val run_c : ?alpha:float -> Triolet.Matrix.t -> Triolet.Matrix.t -> Triolet.Matrix.t
+(** Imperative loop nest over unboxed arrays. *)
+
+val run_triolet :
+  ?alpha:float ->
+  ?hint:(float Triolet.Iter2.t -> float Triolet.Iter2.t) ->
+  Triolet.Matrix.t ->
+  Triolet.Matrix.t ->
+  Triolet.Matrix.t
+(** The paper's two-line rows/outerproduct version; transposition runs
+    [localpar] over shared memory.  [hint] defaults to [Iter2.par]. *)
+
+val run_eden : ?alpha:float -> Triolet.Matrix.t -> Triolet.Matrix.t -> Triolet.Matrix.t
+(** The paper's Eden style: boxed lists of unboxed row vectors
+    ("chunked form"), sequential boxed transposition. *)
+
+val agrees : ?eps:float -> Triolet.Matrix.t -> Triolet.Matrix.t -> bool

@@ -1,0 +1,184 @@
+(** tpacf: two-point angular correlation function (paper, section 4.4).
+
+    Three histogram computations over angular separations of sky-point
+    pairs: DD (observed set against itself), DR (observed against each
+    random set), and RR (each random set against itself).  The
+    separation of a pair is binned by angle; we bin uniformly in
+    cos(angle), which preserves the computation's shape (dot product,
+    compare, histogram update) with a simpler bin function than
+    Parboil's logarithmic bins.
+
+    [run_triolet] mirrors the code of the paper's Figure 6: a shared
+    [correlation] maps a score function over a pair iterator into a
+    histogram; [random_sets_correlation] runs a parallel reduction over
+    random sets; self-correlation builds the triangular pair loop with
+    a nested comprehension. *)
+
+open Triolet
+module D = Dataset
+
+type result = { dd : int array; dr : int array; rr : int array }
+
+(* Bin of one pair: uniform in dot = cos(angle), mapped to [0, bins). *)
+let bin_of_dot ~bins dot =
+  let d = Float.max (-1.0) (Float.min 1.0 dot) in
+  let b = int_of_float ((d +. 1.0) /. 2.0 *. float_of_int bins) in
+  if b >= bins then bins - 1 else b
+
+let point (c : D.catalog) i =
+  ( Float.Array.unsafe_get c.D.cx i,
+    Float.Array.unsafe_get c.D.cy i,
+    Float.Array.unsafe_get c.D.cz i )
+
+let score ~bins (x1, y1, z1) (x2, y2, z2) =
+  bin_of_dot ~bins ((x1 *. x2) +. (y1 *. y2) +. (z1 *. z2))
+
+(* ------------------------------------------------------------------ *)
+
+let run_c ~bins (d : D.tpacf) : result =
+  let self_hist (c : D.catalog) =
+    let n = D.catalog_size c in
+    let h = Array.make bins 0 in
+    for i = 0 to n - 1 do
+      let pi = point c i in
+      for j = i + 1 to n - 1 do
+        let b = score ~bins pi (point c j) in
+        h.(b) <- h.(b) + 1
+      done
+    done;
+    h
+  in
+  let cross_hist (c1 : D.catalog) (c2 : D.catalog) =
+    let n1 = D.catalog_size c1 and n2 = D.catalog_size c2 in
+    let h = Array.make bins 0 in
+    for i = 0 to n1 - 1 do
+      let pi = point c1 i in
+      for j = 0 to n2 - 1 do
+        let b = score ~bins pi (point c2 j) in
+        h.(b) <- h.(b) + 1
+      done
+    done;
+    h
+  in
+  let add a b = Array.mapi (fun i x -> x + b.(i)) a in
+  let dd = self_hist d.D.observed in
+  let dr =
+    Array.fold_left
+      (fun acc r -> add acc (cross_hist d.D.observed r))
+      (Array.make bins 0) d.D.randoms
+  in
+  let rr =
+    Array.fold_left
+      (fun acc r -> add acc (self_hist r))
+      (Array.make bins 0) d.D.randoms
+  in
+  { dd; dr; rr }
+
+(* ------------------------------------------------------------------ *)
+(* Triolet version, following Figure 6 of the paper.                   *)
+
+(* correlation(size, pairs) = histogram(size, (score(u,v) for (u,v) in
+   pairs)) — the common code of all three loops (Figure 6, lines 1-4).
+   [pairs] is an iterator with a localpar hint set by the caller. *)
+let correlation ~bins pairs =
+  Iter.histogram ~bins (Iter.map (fun (u, v) -> score ~bins u v) pairs)
+
+(* Triangular pair loop over one catalog:
+     indexed = zip(indices(domain(rand)), rand)
+     pairs = localpar((u,v) for (i,u) in indexed for v in rand[i+1:])
+   (Figure 6, lines 14-18). *)
+let self_pairs (c : D.catalog) =
+  let n = D.catalog_size c in
+  let points =
+    Iter.zip3
+      (Iter.of_floatarray c.D.cx)
+      (Iter.of_floatarray c.D.cy)
+      (Iter.of_floatarray c.D.cz)
+  in
+  Iter.localpar
+    (Iter.concat_map
+       (fun (i, u) ->
+         Seq_iter.map
+           (fun j -> (u, point c j))
+           (Seq_iter.range (i + 1) n))
+       (Iter.enumerate points))
+
+let cross_pairs (c1 : D.catalog) (c2 : D.catalog) =
+  let n2 = D.catalog_size c2 in
+  let points1 =
+    Iter.zip3
+      (Iter.of_floatarray c1.D.cx)
+      (Iter.of_floatarray c1.D.cy)
+      (Iter.of_floatarray c1.D.cz)
+  in
+  Iter.localpar
+    (Iter.concat_map
+       (fun u -> Seq_iter.map (fun j -> (u, point c2 j)) (Seq_iter.range 0 n2))
+       points1)
+
+(* randomSetsCorrelation: a parallel reduction over the random sets that
+   sums their histograms (Figure 6, lines 6-11). *)
+let random_sets_correlation ~bins corr1 (rands : D.catalog array) =
+  let add h1 h2 = Array.mapi (fun i x -> x + h2.(i)) h1 in
+  let catalog_codec =
+    Triolet_base.Codec.map
+      ~inj:(fun (cx, cy, cz) -> { D.cx; cy; cz })
+      ~proj:(fun c -> (c.D.cx, c.D.cy, c.D.cz))
+      (Triolet_base.Codec.triple Triolet_base.Codec.floatarray
+         Triolet_base.Codec.floatarray Triolet_base.Codec.floatarray)
+  in
+  Iter.reduce ~codec:Triolet_base.Codec.int_array ~merge:add
+    ~init:(Array.make bins 0)
+    (Iter.map corr1 (Iter.par (Iter.of_array ~codec:catalog_codec rands)))
+
+let run_triolet ~bins (d : D.tpacf) : result =
+  let dd = correlation ~bins (self_pairs d.D.observed) in
+  let dr =
+    random_sets_correlation ~bins
+      (fun r -> correlation ~bins (cross_pairs d.D.observed r))
+      d.D.randoms
+  in
+  let rr =
+    random_sets_correlation ~bins
+      (fun r -> correlation ~bins (self_pairs r))
+      d.D.randoms
+  in
+  { dd; dr; rr }
+
+(* ------------------------------------------------------------------ *)
+
+let run_eden ~bins (d : D.tpacf) : result =
+  let module E = Triolet_baselines.Eden_list in
+  let to_points (c : D.catalog) =
+    List.init (D.catalog_size c) (point c)
+  in
+  let self_hist c =
+    let pts = to_points c in
+    let rec pairs = function
+      | [] -> []
+      | p :: rest -> E.map (fun q -> (p, q)) rest :: pairs rest
+    in
+    E.histogram ~bins
+      (E.map (fun (u, v) -> score ~bins u v) (List.concat (pairs pts)))
+  in
+  let cross_hist c1 c2 =
+    let p2 = to_points c2 in
+    E.histogram ~bins
+      (E.concat_map
+         (fun u -> E.map (fun v -> score ~bins u v) p2)
+         (to_points c1))
+  in
+  let add a b = Array.mapi (fun i x -> x + b.(i)) a in
+  {
+    dd = self_hist d.D.observed;
+    dr =
+      Array.fold_left
+        (fun acc r -> add acc (cross_hist d.D.observed r))
+        (Array.make bins 0) d.D.randoms;
+    rr =
+      Array.fold_left
+        (fun acc r -> add acc (self_hist r))
+        (Array.make bins 0) d.D.randoms;
+  }
+
+let agrees r1 r2 = r1.dd = r2.dd && r1.dr = r2.dr && r1.rr = r2.rr

@@ -1,0 +1,21 @@
+(** tpacf: two-point angular correlation function (paper, section 4.4):
+    DD, DR and RR histograms over angular separations of point pairs,
+    binned uniformly in cos(angle). *)
+
+type result = { dd : int array; dr : int array; rr : int array }
+
+val bin_of_dot : bins:int -> float -> int
+(** Bin of a pair with the given dot product; clamps to the valid
+    range. *)
+
+val run_c : bins:int -> Dataset.tpacf -> result
+(** Imperative nested loops with direct histogram updates. *)
+
+val run_triolet : bins:int -> Dataset.tpacf -> result
+(** Follows the paper's Figure 6: a shared [correlation] over a pair
+    iterator; a triangular nested comprehension for self-correlation;
+    [par] over random sets with [localpar] pair loops inside. *)
+
+val run_eden : bins:int -> Dataset.tpacf -> result
+
+val agrees : result -> result -> bool

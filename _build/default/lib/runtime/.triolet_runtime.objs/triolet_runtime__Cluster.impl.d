@@ -1,0 +1,1 @@
+lib/runtime/cluster.ml: Array Bytes Format Logs Mailbox Pool Triolet_base

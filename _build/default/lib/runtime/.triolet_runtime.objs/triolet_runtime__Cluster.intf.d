@@ -1,0 +1,1 @@
+lib/runtime/cluster.mli: Format Pool Triolet_base

@@ -1,0 +1,1 @@
+lib/runtime/mailbox.ml: Bytes Condition Mutex Queue Stats

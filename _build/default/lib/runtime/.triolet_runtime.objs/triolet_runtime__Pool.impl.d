@@ -1,0 +1,1 @@
+lib/runtime/pool.ml: Array Atomic Condition Domain Fun List Logs Mutex Option Partition Stats Wsdeque

@@ -1,0 +1,109 @@
+(** Two-level distributed runtime.
+
+    The paper's runtime distributes large units of work to cluster nodes
+    over MPI, then subdivides each unit across cores with work-stealing
+    threads (section 3.4).  The sealed container has no MPI, so nodes
+    here are in-process entities whose *only* data channel is a mailbox
+    of serialized bytes: payloads are encoded, shipped, and decoded into
+    structurally fresh buffers, so a task can never touch the sender's
+    memory.  Work inside each node runs on the shared work-stealing
+    {!Pool}.  Byte and message counts follow the same paths a real MPI
+    deployment would, which is what the simulator consumes.
+
+    Task *code* travels as an OCaml closure (we cannot serialize code
+    without compiler support, which is precisely what the Triolet
+    compiler adds); task *data* always travels as bytes. *)
+
+let log_src = Logs.Src.create "triolet.cluster" ~doc:"Cluster runtime"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  nodes : int;
+  cores_per_node : int;
+  flat : bool;
+      (** [true] models Eden's flat process view: one single-threaded
+          process per core and no shared memory within a node. *)
+}
+
+let default_config = { nodes = 4; cores_per_node = 2; flat = false }
+
+type report = {
+  scatter_bytes : int;  (** bytes shipped main -> nodes *)
+  gather_bytes : int;  (** bytes shipped nodes -> main *)
+  scatter_messages : int;
+  gather_messages : int;
+  max_message_bytes : int;  (** largest single message *)
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "scatter: %d msgs / %d B; gather: %d msgs / %d B; max msg %d B"
+    r.scatter_messages r.scatter_bytes r.gather_messages r.gather_bytes
+    r.max_message_bytes
+
+(** [run cfg ~scatter ~work ~result_codec ~merge ~init] executes a
+    distributed parallel operation:
+
+    - [scatter node] produces the payload (sliced input data) for each
+      node; it is serialized and sent through the node's mailbox.
+    - [work ~node ~pool payload] runs on the receiving side against the
+      decoded payload, using [pool] for intra-node parallelism.
+    - each node's result is serialized with [result_codec], shipped
+      back, decoded, and folded with [merge] in node order.
+
+    When [cfg.flat] is set there are [nodes * cores_per_node] worker
+    processes, each receiving its own scatter payload and running
+    single-threaded — Eden's execution model. *)
+let run ?pool cfg ~scatter ~work ~result_codec ~merge ~init =
+  if cfg.nodes <= 0 || cfg.cores_per_node <= 0 then
+    invalid_arg "Cluster.run: bad config";
+  let workers = if cfg.flat then cfg.nodes * cfg.cores_per_node else cfg.nodes in
+  let mailboxes = Array.init workers (fun _ -> Mailbox.create ()) in
+  let return_box = Mailbox.create () in
+  let scatter_bytes = ref 0 and scatter_msgs = ref 0 in
+  let gather_bytes = ref 0 and gather_msgs = ref 0 in
+  let max_msg = ref 0 in
+  (* Scatter: main serializes each node's slice and posts it. *)
+  for node = 0 to workers - 1 do
+    let payload = scatter node in
+    let bytes = Triolet_base.Codec.to_bytes Triolet_base.Payload.codec payload in
+    max_msg := max !max_msg (Bytes.length bytes);
+    scatter_bytes := !scatter_bytes + Bytes.length bytes;
+    incr scatter_msgs;
+    Log.debug (fun m -> m "scatter: %d bytes to node %d" (Bytes.length bytes) node);
+    Mailbox.send mailboxes.(node) bytes
+  done;
+  (* Node side: decode, compute, reply.  Nodes run in sequence in this
+     process; the pool provides the intra-node parallelism.  A fresh
+     per-call pool would cost a domain spawn per operation, so nodes
+     share the default pool, capped at the configured core count. *)
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  for node = 0 to workers - 1 do
+    let bytes = Mailbox.recv mailboxes.(node) in
+    let payload =
+      Triolet_base.Codec.of_bytes Triolet_base.Payload.codec bytes
+    in
+    let r = work ~node ~pool payload in
+    let reply = Triolet_base.Codec.to_bytes result_codec r in
+    Log.debug (fun m -> m "gather: %d bytes from node %d" (Bytes.length reply) node);
+    max_msg := max !max_msg (Bytes.length reply);
+    gather_bytes := !gather_bytes + Bytes.length reply;
+    incr gather_msgs;
+    Mailbox.send return_box reply
+  done;
+  (* Gather: main decodes replies in arrival order and merges. *)
+  let acc = ref init in
+  for _ = 0 to workers - 1 do
+    let reply = Mailbox.recv return_box in
+    let r = Triolet_base.Codec.of_bytes result_codec reply in
+    acc := merge !acc r
+  done;
+  ( !acc,
+    {
+      scatter_bytes = !scatter_bytes;
+      gather_bytes = !gather_bytes;
+      scatter_messages = !scatter_msgs;
+      gather_messages = !gather_msgs;
+      max_message_bytes = !max_msg;
+    } )

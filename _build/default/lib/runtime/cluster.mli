@@ -1,0 +1,50 @@
+(** Two-level distributed runtime (paper, section 3.4).
+
+    Nodes are in-process entities whose only data channel is a mailbox
+    of serialized bytes: payloads are encoded, shipped, and decoded into
+    structurally fresh buffers, so a task can never touch the sender's
+    memory.  Task *code* travels as an OCaml closure (serializing code
+    is what the Triolet compiler adds); task *data* always travels as
+    bytes, and every byte is counted. *)
+
+type config = {
+  nodes : int;
+  cores_per_node : int;
+  flat : bool;
+      (** [true] models Eden's flat process view: one single-threaded
+          process per core and no shared memory within a node *)
+}
+
+val default_config : config
+
+type report = {
+  scatter_bytes : int;
+  gather_bytes : int;
+  scatter_messages : int;
+  gather_messages : int;
+  max_message_bytes : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?pool:Pool.t ->
+  config ->
+  scatter:(int -> Triolet_base.Payload.t) ->
+  work:(node:int -> pool:Pool.t -> Triolet_base.Payload.t -> 'r) ->
+  result_codec:'r Triolet_base.Codec.t ->
+  merge:('a -> 'r -> 'a) ->
+  init:'a ->
+  'a * report
+(** [run cfg ~scatter ~work ~result_codec ~merge ~init]:
+
+    - [scatter w] builds worker [w]'s input payload; it is serialized
+      and delivered through the worker's mailbox;
+    - [work ~node ~pool payload] runs against the decoded payload,
+      using [pool] for intra-node parallelism (a 1-wide pool in flat
+      mode);
+    - each worker's result is serialized with [result_codec], shipped
+      back, decoded, and folded with [merge] in worker order.
+
+    In flat mode there are [nodes * cores_per_node] single-threaded
+    workers; otherwise one worker per node. *)

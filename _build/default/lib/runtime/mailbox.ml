@@ -1,0 +1,56 @@
+(** Node mailboxes: FIFO queues of serialized messages.
+
+    All inter-node traffic in the cluster runtime flows through
+    mailboxes as opaque byte buffers — data crosses a node boundary only
+    in serialized form, as on a real network.  Every send is counted in
+    {!Stats}. *)
+
+type t = {
+  q : Bytes.t Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable total_bytes : int;
+  mutable total_messages : int;
+}
+
+let create () =
+  {
+    q = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    total_bytes = 0;
+    total_messages = 0;
+  }
+
+let send t msg =
+  Mutex.lock t.lock;
+  Queue.push msg t.q;
+  t.total_bytes <- t.total_bytes + Bytes.length msg;
+  t.total_messages <- t.total_messages + 1;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock;
+  Stats.record_message ~bytes:(Bytes.length msg)
+
+(** Blocking receive. *)
+let recv t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.q do
+    Condition.wait t.nonempty t.lock
+  done;
+  let msg = Queue.pop t.q in
+  Mutex.unlock t.lock;
+  msg
+
+let try_recv t =
+  Mutex.lock t.lock;
+  let msg = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Mutex.unlock t.lock;
+  msg
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.q in
+  Mutex.unlock t.lock;
+  n
+
+let totals t = (t.total_messages, t.total_bytes)

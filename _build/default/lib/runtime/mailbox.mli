@@ -1,0 +1,20 @@
+(** Node mailboxes: FIFO queues of serialized messages.
+
+    All inter-node traffic flows through mailboxes as opaque byte
+    buffers; every send is counted in {!Stats}. *)
+
+type t
+
+val create : unit -> t
+
+val send : t -> Bytes.t -> unit
+
+val recv : t -> Bytes.t
+(** Blocking receive. *)
+
+val try_recv : t -> Bytes.t option
+
+val pending : t -> int
+
+val totals : t -> int * int
+(** (messages, bytes) ever sent to this mailbox. *)

@@ -1,0 +1,62 @@
+(** Block partitioning of iteration spaces.
+
+    Triolet separates data distribution from work distribution: these
+    functions only decide index ranges; extracting the matching data
+    slice is the iterator's job (paper, sections 2 and 3.5). *)
+
+(** [blocks ~parts n] splits [0, n) into at most [parts] contiguous
+    (offset, length) blocks of near-equal size.  Empty blocks are
+    omitted, so fewer than [parts] blocks are returned when [n < parts]. *)
+let blocks ~parts n =
+  if parts <= 0 then invalid_arg "Partition.blocks: parts must be positive";
+  if n < 0 then invalid_arg "Partition.blocks: negative length";
+  let parts = min parts (max n 1) in
+  let base = n / parts and extra = n mod parts in
+  let rec build k off acc =
+    if k = parts then List.rev acc
+    else
+      let len = base + (if k < extra then 1 else 0) in
+      if len = 0 then List.rev acc
+      else build (k + 1) (off + len) ((off, len) :: acc)
+  in
+  Array.of_list (build 0 0 [])
+
+(** Owner of index [i] under [blocks ~parts n]. *)
+let owner ~parts n i =
+  if i < 0 || i >= n then invalid_arg "Partition.owner";
+  let parts = min parts (max n 1) in
+  let base = n / parts and extra = n mod parts in
+  let boundary = (base + 1) * extra in
+  if i < boundary then i / (base + 1) else extra + ((i - boundary) / base)
+
+(** 2-D block grid over an [rows] x [cols] space: the cross product of a
+    row partition and a column partition, as used by sgemm's 2-D block
+    decomposition.  Returns (row0, nrows, col0, ncols) blocks in
+    row-major block order. *)
+let grid ~row_parts ~col_parts ~rows ~cols =
+  let rblocks = blocks ~parts:row_parts rows in
+  let cblocks = blocks ~parts:col_parts cols in
+  Array.concat
+    (Array.to_list
+       (Array.map
+          (fun (r0, nr) ->
+            Array.map (fun (c0, nc) -> (r0, nr, c0, nc)) cblocks)
+          rblocks))
+
+(** Near-square factorization of [parts] used to choose a block grid
+    shape: returns (row_parts, col_parts) with row_parts * col_parts =
+    parts and the factors as close as possible. *)
+let square_factors parts =
+  if parts <= 0 then invalid_arg "Partition.square_factors";
+  let r = ref (int_of_float (sqrt (float_of_int parts))) in
+  while parts mod !r <> 0 do
+    decr r
+  done;
+  (!r, parts / !r)
+
+(** Number of chunks to cut a loop of [n] iterations into for a pool of
+    [workers] workers.  Over-decomposition by [multiplier] gives the
+    work-stealing scheduler room to balance irregular iterations. *)
+let chunk_count ?(multiplier = 4) ~workers n =
+  if workers <= 0 then invalid_arg "Partition.chunk_count";
+  max 1 (min n (workers * multiplier))

@@ -1,0 +1,29 @@
+(** Block partitioning of iteration spaces.
+
+    Work distribution only: extracting the data slice that matches an
+    index range is the iterator's job (paper, sections 2 and 3.5). *)
+
+val blocks : parts:int -> int -> (int * int) array
+(** [blocks ~parts n] splits [0, n) into at most [parts] contiguous
+    (offset, length) blocks whose sizes differ by at most one.  Empty
+    blocks are omitted. *)
+
+val owner : parts:int -> int -> int -> int
+(** [owner ~parts n i] is the index of the block of [blocks ~parts n]
+    containing [i]. *)
+
+val grid :
+  row_parts:int -> col_parts:int -> rows:int -> cols:int ->
+  (int * int * int * int) array
+(** 2-D block grid: (row0, nrows, col0, ncols) blocks in row-major block
+    order, covering the space exactly once. *)
+
+val square_factors : int -> int * int
+(** [square_factors p] = (r, c) with [r * c = p] and the factors as
+    close as possible ([r <= c]); the grid shape used for 2-D block
+    decompositions. *)
+
+val chunk_count : ?multiplier:int -> workers:int -> int -> int
+(** Number of chunks to cut a loop of [n] iterations into for a pool of
+    [workers]: over-decomposition (default 4x) gives work stealing room
+    to balance irregular iterations. *)

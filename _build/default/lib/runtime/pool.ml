@@ -1,0 +1,260 @@
+(** Work-stealing domain pool: Triolet's intra-node parallel substrate.
+
+    A pool owns [n - 1] helper domains plus the calling domain.  A job
+    preloads per-worker Chase–Lev deques with chunks; each worker drains
+    its own deque and steals from peers until a global remaining-chunk
+    counter hits zero.  This mirrors the paper's two-level architecture,
+    where shared-memory thread parallelism with work stealing runs
+    inside each cluster node (section 3.4). *)
+
+let log_src = Logs.Src.create "triolet.pool" ~doc:"Work-stealing pool"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  n : int;  (** worker count, including the submitting domain *)
+  lock : Mutex.t;
+  have_job : Condition.t;
+  job_done : Condition.t;
+  mutable generation : int;
+  mutable job : (int -> unit) option;
+  mutable running : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.n
+
+let worker_loop t =
+  let gen = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.lock;
+    while (not t.stop) && t.generation = !gen do
+      Condition.wait t.have_job t.lock
+    done;
+    if t.stop then begin
+      Mutex.unlock t.lock;
+      continue_ := false
+    end
+    else begin
+      gen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.lock;
+      (* Worker ids are assigned per-job inside [run_job]; the closure
+         dispatches on an atomic ticket so ids never collide.  Job
+         closures are exception-safe (parallel_chunks captures user
+         exceptions itself); the guard here keeps a worker domain alive
+         no matter what, so the rendezvous below always happens. *)
+      (try job (-1) with _ -> ());
+      Mutex.lock t.lock;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.job_done;
+      Mutex.unlock t.lock
+    end
+  done
+
+let create ?workers () =
+  let n =
+    match workers with
+    | Some w ->
+        if w <= 0 then invalid_arg "Pool.create: workers must be positive";
+        w
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      n;
+      lock = Mutex.create ();
+      have_job = Condition.create ();
+      job_done = Condition.create ();
+      generation = 0;
+      job = None;
+      running = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.have_job;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Nested parallelism: a parallel consumer called from inside a pool
+   worker (e.g. a localpar histogram inside a distributed reduction)
+   must not re-enter the job machinery — the other workers are busy
+   with the outer job and the rendezvous state is not reentrant.  The
+   inner job runs inline on the calling worker instead, which is the
+   usual flattening of nested data parallelism. *)
+let inside_job : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Runs [job] on every worker (the caller acts as one of them) and
+   returns once all have finished.  [job] receives a distinct worker id
+   in [0, n). *)
+let run_job t job =
+  let ticket = Atomic.make 1 in
+  let dispatch hint =
+    let id = if hint = 0 then 0 else Atomic.fetch_and_add ticket 1 in
+    Domain.DLS.set inside_job true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set inside_job false)
+      (fun () -> job id)
+  in
+  if t.n = 1 || Domain.DLS.get inside_job then job 0
+  else begin
+    Mutex.lock t.lock;
+    t.job <- Some dispatch;
+    t.running <- t.n - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.have_job;
+    Mutex.unlock t.lock;
+    let main_exn = (try dispatch 0; None with e -> Some e) in
+    Mutex.lock t.lock;
+    while t.running > 0 do
+      Condition.wait t.job_done t.lock
+    done;
+    t.job <- None;
+    Mutex.unlock t.lock;
+    match main_exn with Some e -> raise e | None -> ()
+  end
+
+(** Core primitive: execute every (off, len) chunk exactly once across
+    the pool, folding each worker's chunk results locally with [merge]
+    and combining the per-worker partials at the end.  Local
+    accumulation before any cross-worker combining is exactly the
+    result-aggregation strategy described for dot product in section 2. *)
+let parallel_chunks t ~chunks ~f ~merge ~init =
+  let nchunks = Array.length chunks in
+  Log.debug (fun m -> m "parallel_chunks: %d chunks on %d workers" nchunks t.n);
+  if nchunks = 0 then init
+  else begin
+    let deques = Array.init t.n (fun _ -> Wsdeque.create ()) in
+    (* Blocked preload keeps adjacent chunks on the same worker for
+       locality; stealing rebalances irregular ones. *)
+    Array.iteri
+      (fun i c -> Wsdeque.push deques.(i * t.n / nchunks) c)
+      chunks;
+    let remaining = Atomic.make nchunks in
+    let results = Array.make t.n None in
+    (* First user exception wins; remaining chunks are drained without
+       running user code so every worker's hunt loop terminates. *)
+    let failure = Atomic.make None in
+    let job id =
+      let acc = ref None in
+      let execute (off, len) =
+        (match Atomic.get failure with
+        | Some _ -> ()
+        | None -> (
+            Stats.record_chunk ();
+            try
+              let v = f off len in
+              acc :=
+                (match !acc with
+                | None -> Some v
+                | Some a -> Some (merge a v))
+            with e -> ignore (Atomic.compare_and_set failure None (Some e))));
+        ignore (Atomic.fetch_and_add remaining (-1))
+      in
+      let rec drain () =
+        match Wsdeque.pop deques.(id) with
+        | Some c -> execute c; drain ()
+        | None -> hunt ()
+      and hunt () =
+        if Atomic.get remaining > 0 then begin
+          let stolen = ref false in
+          for k = 1 to t.n - 1 do
+            if not !stolen then
+              match Wsdeque.steal deques.((id + k) mod t.n) with
+              | Wsdeque.Stolen c ->
+                  Stats.record_steal ();
+                  stolen := true;
+                  execute c
+              | Wsdeque.Empty | Wsdeque.Retry -> ()
+          done;
+          if !stolen then drain ()
+          else begin
+            Domain.cpu_relax ();
+            hunt ()
+          end
+        end
+      in
+      drain ();
+      results.(id) <- !acc
+    in
+    run_job t job;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.fold_left
+      (fun a r ->
+        match (a, r) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (merge a b))
+      None results
+    |> function
+    | None -> init
+    | Some v -> merge init v
+  end
+
+(** Parallel loop over [lo, hi) for side effects on disjoint state. *)
+let parallel_for t ?chunks ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let parts =
+      match chunks with
+      | Some c -> c
+      | None -> Partition.chunk_count ~workers:t.n n
+    in
+    let chunks =
+      Array.map (fun (o, l) -> (lo + o, l)) (Partition.blocks ~parts n)
+    in
+    parallel_chunks t ~chunks
+      ~f:(fun off len ->
+        for i = off to off + len - 1 do
+          f i
+        done)
+      ~merge:(fun () () -> ())
+      ~init:()
+  end
+
+(** Parallel reduction of [f i] over [lo, hi). *)
+let parallel_reduce t ?chunks ~lo ~hi ~f ~merge ~init () =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let parts =
+      match chunks with
+      | Some c -> c
+      | None -> Partition.chunk_count ~workers:t.n n
+    in
+    let blocks =
+      Array.map (fun (o, l) -> (lo + o, l)) (Partition.blocks ~parts n)
+    in
+    parallel_chunks t ~chunks:blocks
+      ~f:(fun off len ->
+        let acc = ref (f off) in
+        for i = off + 1 to off + len - 1 do
+          acc := merge !acc (f i)
+        done;
+        !acc)
+      ~merge ~init
+  end
+
+(* A lazily created default pool shared by iterator consumers.  Its
+   width can be forced before first use (tests use small widths). *)
+let default_width = ref None
+let default_pool : t option ref = ref None
+
+let set_default_width w = default_width := Some w
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create ?workers:!default_width () in
+      default_pool := Some p;
+      p

@@ -1,0 +1,57 @@
+(** Work-stealing domain pool: Triolet's intra-node parallel substrate
+    (paper, section 3.4).
+
+    A pool owns [n - 1] helper domains plus the calling domain.  Jobs
+    preload per-worker Chase–Lev deques with chunks; workers drain their
+    own deque and steal from peers.  Parallel consumers called from
+    *inside* a pool worker run inline (nested data parallelism is
+    flattened). *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Total worker count including the caller; defaults to
+    [Domain.recommended_domain_count ()]. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Joins the helper domains.  The pool must be idle. *)
+
+val parallel_chunks :
+  t ->
+  chunks:(int * int) array ->
+  f:(int -> int -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** Executes every (offset, length) chunk exactly once across the pool,
+    folding each worker's chunk results locally before combining the
+    per-worker partials.  [merge] must be associative with identity
+    [init]; combination order is unspecified.
+
+    If [f] raises, remaining chunks are skipped, all workers rendezvous
+    normally, and the first exception is re-raised on the caller. *)
+
+val parallel_for : t -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Parallel loop over [lo, hi) for side effects on disjoint state. *)
+
+val parallel_reduce :
+  t ->
+  ?chunks:int ->
+  lo:int ->
+  hi:int ->
+  f:(int -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  init:'a ->
+  unit ->
+  'a
+
+(** {1 Default pool}
+
+    Iterator consumers share one lazily created pool. *)
+
+val set_default_width : int -> unit
+(** Must be called before the first {!default} use to take effect. *)
+
+val default : unit -> t

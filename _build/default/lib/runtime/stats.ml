@@ -1,0 +1,65 @@
+(** Global runtime counters.
+
+    The evaluation attributes performance differences to communication
+    volume and task behaviour, so the runtime counts everything it does:
+    messages and bytes crossing node boundaries, chunks executed, and
+    work-stealing activity.  Counters are atomic so pool workers can
+    bump them concurrently. *)
+
+type snapshot = {
+  messages : int;
+  bytes_sent : int;
+  chunks_run : int;
+  steals : int;
+  tasks_spawned : int;
+}
+
+let messages = Atomic.make 0
+let bytes_sent = Atomic.make 0
+let chunks_run = Atomic.make 0
+let steals = Atomic.make 0
+let tasks_spawned = Atomic.make 0
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let record_message ~bytes =
+  add messages 1;
+  add bytes_sent bytes
+
+let record_chunk () = add chunks_run 1
+let record_steal () = add steals 1
+let record_task () = add tasks_spawned 1
+
+let snapshot () =
+  {
+    messages = Atomic.get messages;
+    bytes_sent = Atomic.get bytes_sent;
+    chunks_run = Atomic.get chunks_run;
+    steals = Atomic.get steals;
+    tasks_spawned = Atomic.get tasks_spawned;
+  }
+
+let reset () =
+  Atomic.set messages 0;
+  Atomic.set bytes_sent 0;
+  Atomic.set chunks_run 0;
+  Atomic.set steals 0;
+  Atomic.set tasks_spawned 0
+
+(** Counter deltas around running [f]. *)
+let measure f =
+  let before = snapshot () in
+  let v = f () in
+  let after = snapshot () in
+  ( v,
+    {
+      messages = after.messages - before.messages;
+      bytes_sent = after.bytes_sent - before.bytes_sent;
+      chunks_run = after.chunks_run - before.chunks_run;
+      steals = after.steals - before.steals;
+      tasks_spawned = after.tasks_spawned - before.tasks_spawned;
+    } )
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt "messages=%d bytes=%d chunks=%d steals=%d tasks=%d"
+    s.messages s.bytes_sent s.chunks_run s.steals s.tasks_spawned

@@ -1,0 +1,25 @@
+(** Global runtime counters: messages and bytes crossing node
+    boundaries, chunks executed, work-stealing activity.  Atomic, so
+    pool workers may bump them concurrently. *)
+
+type snapshot = {
+  messages : int;
+  bytes_sent : int;
+  chunks_run : int;
+  steals : int;
+  tasks_spawned : int;
+}
+
+val record_message : bytes:int -> unit
+val record_chunk : unit -> unit
+val record_steal : unit -> unit
+val record_task : unit -> unit
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+
+val measure : (unit -> 'a) -> 'a * snapshot
+(** [measure f] runs [f] and returns its result with the counter deltas
+    incurred during the call. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

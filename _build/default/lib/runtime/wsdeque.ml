@@ -1,0 +1,92 @@
+(** Chase–Lev work-stealing deque.
+
+    One owner pushes and pops at the bottom; any number of thieves
+    steal from the top.  This is the classic dynamic circular
+    work-stealing deque (Chase & Lev, SPAA 2005), which is also what
+    TBB-style runtimes — Triolet's intra-node substrate — build on.
+
+    OCaml's [Atomic] operations are sequentially consistent, which is
+    stronger than the fences the algorithm needs, so the implementation
+    is a direct transcription. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  mutable buf : 'a option array;  (* circular; length is a power of two *)
+  mutable mask : int;
+}
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let create ?(capacity = 16) () =
+  let cap = ref 2 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Array.make !cap None;
+    mask = !cap - 1;
+  }
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let grow q b t =
+  let old = q.buf and old_mask = q.mask in
+  let cap = 2 * Array.length old in
+  let buf = Array.make cap None in
+  let mask = cap - 1 in
+  for i = t to b - 1 do
+    buf.(i land mask) <- old.(i land old_mask)
+  done;
+  q.buf <- buf;
+  q.mask <- mask
+
+(** Owner-only. *)
+let push q v =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  if b - t > Array.length q.buf - 1 then grow q b t;
+  q.buf.(b land q.mask) <- Some v;
+  Atomic.set q.bottom (b + 1)
+
+(** Owner-only. *)
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Deque was empty; restore the canonical empty state. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let v = q.buf.(b land q.mask) in
+    if b > t then begin
+      q.buf.(b land q.mask) <- None;
+      v
+    end
+    else begin
+      (* Single element left: race against thieves for it. *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        q.buf.(b land q.mask) <- None;
+        v
+      end
+      else None
+    end
+  end
+
+(** Safe from any domain. *)
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then Empty
+  else
+    let v = q.buf.(t land q.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      match v with
+      | Some x -> Stolen x
+      | None -> Retry (* slot raced with a concurrent grow; try again *)
+    else Retry

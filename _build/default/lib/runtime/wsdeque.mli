@@ -1,0 +1,25 @@
+(** Chase–Lev work-stealing deque (SPAA 2005).
+
+    One owner pushes and pops at the bottom; any number of thieves steal
+    from the top. *)
+
+type 'a t
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty  (** nothing to steal *)
+  | Retry  (** lost a race; try again *)
+
+val create : ?capacity:int -> unit -> 'a t
+
+val size : 'a t -> int
+(** Approximate under concurrency. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only; takes the most recently pushed element. *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain; takes the oldest element. *)

@@ -1,0 +1,1 @@
+lib/sim/app_model.mli:

@@ -1,0 +1,1 @@
+lib/sim/profile.ml: List Netmodel

@@ -1,0 +1,1 @@
+lib/sim/sched_sim.ml: App_model Array Heap List Netmodel Printf Profile

@@ -1,0 +1,1 @@
+lib/sim/sched_sim.mli: App_model Profile

@@ -1,0 +1,1 @@
+lib/sim/speedup.ml: App_model List Profile Sched_sim

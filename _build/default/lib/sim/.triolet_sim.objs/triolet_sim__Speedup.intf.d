@@ -1,0 +1,1 @@
+lib/sim/speedup.mli: App_model Profile Sched_sim

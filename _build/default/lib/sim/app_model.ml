@@ -1,0 +1,81 @@
+(** Abstract application model consumed by the scheduler simulator.
+
+    An application is a bag of outer work units plus the byte volumes
+    that moving its data costs.  Instances for the four Parboil kernels
+    are built in [Triolet_kernels.Models] from *measured* per-unit
+    compute rates and *measured* serialized sizes, so the simulation
+    replays real costs under modeled policies. *)
+
+type t = {
+  name : string;
+  tasks : int;  (** outer work units (parallel grain) *)
+  task_cost : int -> float;
+      (** seconds of compute for unit [i] on one core of the reference
+          (sequential C) implementation *)
+  task_in_bytes : int -> int;
+      (** input bytes needed by unit [i] alone, under sliced (per-task)
+          data distribution *)
+  broadcast_bytes : int;
+      (** input bytes every worker needs regardless of its units (e.g.
+          mri-q's sample array, replicated to all nodes) *)
+  whole_in_bytes : int;
+      (** total input bytes, shipped to *every* worker when the runtime
+          cannot slice (whole-structure serialization) *)
+  task_out_bytes : int -> int;
+      (** result bytes produced by unit [i] *)
+  node_out_bytes : int;
+      (** result bytes per node for reduction-shaped results whose size
+          is independent of the number of units (e.g. a histogram or the
+          cutcp grid); added to the per-unit output volume *)
+  task_alloc_bytes : int -> int;
+      (** heap bytes allocated while computing unit [i] (drives the GC
+          overhead term of allocation-heavy kernels) *)
+  node_extra_in_bytes : int -> int;
+      (** [node_extra_in_bytes nodes]: input bytes each node needs
+          *in addition to* its units' slices, as a function of the node
+          count — e.g. sgemm's B^T band, whose size depends on the block
+          grid.  Only charged under sliced distribution. *)
+  seq_setup_time : float;
+      (** unparallelizable-over-the-cluster setup, e.g. sgemm's
+          transposition, in reference-core seconds *)
+  setup_shared_mem_ok : bool;
+      (** whether the setup can use single-node shared-memory
+          parallelism (Triolet's localpar and OpenMP can; Eden cannot) *)
+}
+
+let make ~name ~tasks ~task_cost ?(task_in_bytes = fun _ -> 0)
+    ?(broadcast_bytes = 0) ?(whole_in_bytes = 0)
+    ?(task_out_bytes = fun _ -> 0) ?(node_out_bytes = 0)
+    ?(task_alloc_bytes = fun _ -> 0) ?(node_extra_in_bytes = fun _ -> 0)
+    ?(seq_setup_time = 0.0) ?(setup_shared_mem_ok = true) () =
+  if tasks < 0 then invalid_arg "App_model.make: negative tasks";
+  {
+    name;
+    tasks;
+    task_cost;
+    task_in_bytes;
+    broadcast_bytes;
+    whole_in_bytes;
+    task_out_bytes;
+    node_out_bytes;
+    task_alloc_bytes;
+    node_extra_in_bytes;
+    seq_setup_time;
+    setup_shared_mem_ok;
+  }
+
+(** Total sequential-reference time: setup plus all unit costs.  This is
+    the denominator of every speedup figure. *)
+let sequential_time t =
+  let acc = ref t.seq_setup_time in
+  for i = 0 to t.tasks - 1 do
+    acc := !acc +. t.task_cost i
+  done;
+  !acc
+
+let total_in_bytes t =
+  let acc = ref t.broadcast_bytes in
+  for i = 0 to t.tasks - 1 do
+    acc := !acc + t.task_in_bytes i
+  done;
+  !acc

@@ -1,0 +1,53 @@
+(** Abstract application model consumed by the scheduler simulator: a
+    bag of outer work units plus the byte volumes moving its data
+    costs.  Kernel instances are built from *measured* per-unit rates
+    and the same slice-size formulas the real iterator runtime uses. *)
+
+type t = {
+  name : string;
+  tasks : int;
+  task_cost : int -> float;
+      (** seconds for unit [i] on one reference (sequential C) core *)
+  task_in_bytes : int -> int;
+      (** input bytes unit [i] needs alone, under sliced distribution *)
+  broadcast_bytes : int;
+      (** input bytes every worker needs regardless of its units *)
+  whole_in_bytes : int;
+      (** total input, shipped to every worker when the runtime cannot
+          slice *)
+  task_out_bytes : int -> int;
+  node_out_bytes : int;
+      (** per-worker result bytes independent of unit count (histograms,
+          the cutcp grid) *)
+  task_alloc_bytes : int -> int;
+      (** heap bytes allocated computing unit [i]: drives GC overhead *)
+  node_extra_in_bytes : int -> int;
+      (** machine-dependent per-node input (e.g. sgemm's B^T band, a
+          function of the node count); only charged under slicing *)
+  seq_setup_time : float;
+      (** unparallelizable-over-the-cluster setup (sgemm's transpose) *)
+  setup_shared_mem_ok : bool;
+      (** whether the setup can use single-node shared-memory parallelism *)
+}
+
+val make :
+  name:string ->
+  tasks:int ->
+  task_cost:(int -> float) ->
+  ?task_in_bytes:(int -> int) ->
+  ?broadcast_bytes:int ->
+  ?whole_in_bytes:int ->
+  ?task_out_bytes:(int -> int) ->
+  ?node_out_bytes:int ->
+  ?task_alloc_bytes:(int -> int) ->
+  ?node_extra_in_bytes:(int -> int) ->
+  ?seq_setup_time:float ->
+  ?setup_shared_mem_ok:bool ->
+  unit ->
+  t
+
+val sequential_time : t -> float
+(** Setup plus all unit costs: the denominator of every speedup
+    figure. *)
+
+val total_in_bytes : t -> int

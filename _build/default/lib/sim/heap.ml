@@ -1,0 +1,69 @@
+(** Binary min-heap keyed by float priority; the event queue of the
+    discrete-event simulator. *)
+
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable len : int;
+}
+
+let create () = { keys = Array.make 16 0.0; vals = Array.make 16 None; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let grow h =
+  let cap = 2 * Array.length h.keys in
+  let keys = Array.make cap 0.0 and vals = Array.make cap None in
+  Array.blit h.keys 0 keys 0 h.len;
+  Array.blit h.vals 0 vals 0 h.len;
+  h.keys <- keys;
+  h.vals <- vals
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- k;
+  h.vals.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if h.keys.(p) > h.keys.(i) then begin
+      swap h i p;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h key v =
+  if h.len = Array.length h.keys then grow h;
+  h.keys.(h.len) <- key;
+  h.vals.(h.len) <- Some v;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek_key h = if h.len = 0 then None else Some h.keys.(0)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let key = h.keys.(0) and v = Option.get h.vals.(0) in
+    h.len <- h.len - 1;
+    h.keys.(0) <- h.keys.(h.len);
+    h.vals.(0) <- h.vals.(h.len);
+    h.vals.(h.len) <- None;
+    if h.len > 0 then sift_down h 0;
+    Some (key, v)
+  end

@@ -1,0 +1,15 @@
+(** Binary min-heap keyed by float priority; the event queue of the
+    discrete-event simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+val peek_key : 'a t -> float option
+(** Smallest key, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key entry. *)

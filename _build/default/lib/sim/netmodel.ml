@@ -1,0 +1,33 @@
+(** Network cost model: per-message latency plus bandwidth-limited
+    transfer, with an optional runtime message-size limit.
+
+    Defaults approximate the evaluation platform of the paper — Amazon
+    EC2 cluster-compute instances with 10-gigabit Ethernet and MPI-level
+    latencies in the tens of microseconds.  The message-size limit
+    models Eden's message-passing runtime, whose buffering failed on
+    sgemm's large array messages at 2 nodes (paper, section 4.3). *)
+
+type t = {
+  latency : float;  (** seconds per message *)
+  bytes_per_sec : float;
+  max_message_bytes : int option;
+}
+
+exception Message_too_large of { bytes : int; limit : int }
+
+let make ?(latency = 5e-5) ?(bytes_per_sec = 7.0e8) ?max_message_bytes () =
+  if latency < 0.0 || bytes_per_sec <= 0.0 then invalid_arg "Netmodel.make";
+  { latency; bytes_per_sec; max_message_bytes }
+
+let ten_gbe = make ()
+
+let check_size t bytes =
+  match t.max_message_bytes with
+  | Some limit when bytes > limit -> raise (Message_too_large { bytes; limit })
+  | _ -> ()
+
+(** Wire time of one message of [bytes] bytes. *)
+let transfer_time t bytes =
+  if bytes < 0 then invalid_arg "Netmodel.transfer_time";
+  check_size t bytes;
+  t.latency +. (float_of_int bytes /. t.bytes_per_sec)

@@ -1,0 +1,27 @@
+(** Network cost model: per-message latency plus bandwidth-limited
+    transfer, with an optional runtime message-size limit.
+
+    Defaults approximate the paper's platform (EC2 cluster-compute,
+    10-gigabit Ethernet).  The size limit models Eden's message-passing
+    runtime, which failed to buffer sgemm's array messages at 2 nodes
+    (paper, section 4.3). *)
+
+type t = {
+  latency : float;  (** seconds per message *)
+  bytes_per_sec : float;
+  max_message_bytes : int option;
+}
+
+exception Message_too_large of { bytes : int; limit : int }
+
+val make :
+  ?latency:float -> ?bytes_per_sec:float -> ?max_message_bytes:int -> unit -> t
+
+val ten_gbe : t
+(** The default EC2-like network. *)
+
+val check_size : t -> int -> unit
+(** Raises {!Message_too_large} when over the limit. *)
+
+val transfer_time : t -> int -> float
+(** Wire time of one message; raises {!Message_too_large}. *)

@@ -1,0 +1,40 @@
+(** Language/runtime profiles for the three systems the paper compares.
+    Each knob corresponds to a cause of performance difference the paper
+    identifies (section references in the field docs). *)
+
+type scheduling =
+  | Static_blocks  (** contiguous equal unit blocks per node (MPI style) *)
+  | Overdecomposed of int
+      (** round-robin of [k]-times-overdecomposed chunks (Triolet) *)
+
+type intra_node =
+  | Static_threads  (** contiguous per-core blocks (OpenMP-style) *)
+  | Work_stealing  (** greedy earliest-free-core dispatch (TBB-style) *)
+
+type t = {
+  name : string;
+  seq_efficiency : string -> float;
+      (** kernel -> fraction of sequential-C speed on one core (Fig. 3) *)
+  shared_memory : bool;
+      (** threads share a heap within a node vs one process per core *)
+  slices_input : bool;
+      (** per-task slicing (3.5) vs whole-structure serialization *)
+  node_scheduling : scheduling;
+  intra_node_scheduling : intra_node;
+  task_overhead : float;  (** per-task launch seconds *)
+  serialize_bytes_per_sec : float;
+  net : Netmodel.t;
+  gc_sec_per_byte : float;
+      (** allocator/GC cost per heap byte for large objects (4.3, 4.5) *)
+  jitter_period : int;
+      (** every n-th task runs [jitter_factor] slower; 0 disables (4.2) *)
+  jitter_factor : float;
+  tree_gather : bool;
+      (** gather through a binary combining tree (MPI_Reduce style)
+          instead of sequentially through main; an extension ablation,
+          off by default for all three systems *)
+}
+
+val triolet : ?efficiency:(string -> float) -> unit -> t
+val eden : ?efficiency:(string -> float) -> unit -> t
+val cmpi : ?efficiency:(string -> float) -> unit -> t

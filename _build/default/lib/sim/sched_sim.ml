@@ -1,0 +1,280 @@
+(** Scheduler/communication simulation of one application run.
+
+    Replays an {!App_model} under a {!Profile} on an abstract
+    [nodes x cores] machine and returns the completion time with a phase
+    breakdown.  The policies simulated are the ones the paper describes:
+
+    - two-level distribution (main -> nodes -> threads) with shared
+      memory inside a node, for Triolet and C+MPI+OpenMP;
+    - hierarchical message forwarding for Eden (main -> one process per
+      node -> per-core processes), where each hop re-serializes because
+      processes share nothing;
+    - sliced vs whole-structure input payloads;
+    - static vs over-decomposed node scheduling;
+    - greedy earliest-free-core dispatch inside a node (the idealized
+      behaviour of a work-stealing pool);
+    - sequential message construction on the main process, with GC cost
+      proportional to allocated message bytes. *)
+
+type machine = { nodes : int; cores_per_node : int }
+
+type breakdown = {
+  total : float;
+  setup_time : float;
+  scatter_done : float;  (** when the last worker has its input *)
+  compute_done : float;  (** when the last worker finishes computing *)
+  bytes_scattered : int;
+  bytes_gathered : int;
+  gc_time : float;  (** total time attributed to allocation/GC *)
+}
+
+type result = Completed of breakdown | Failed of string
+
+let total_cores m = m.nodes * m.cores_per_node
+
+(* Contiguous near-equal blocks; local copy to keep the sim library
+   independent of the runtime library. *)
+let blocks ~parts n =
+  let parts = max 1 (min parts (max n 1)) in
+  let base = n / parts and extra = n mod parts in
+  List.init parts (fun k ->
+      let len = base + if k < extra then 1 else 0 in
+      let off = (k * base) + min k extra in
+      (off, len))
+  |> List.filter (fun (_, l) -> l > 0)
+
+(* Unit indices assigned to each of [parts] workers under a policy. *)
+let assign policy ~parts n =
+  match policy with
+  | Profile.Static_blocks ->
+      let bs = blocks ~parts n in
+      Array.init parts (fun w ->
+          match List.nth_opt bs w with
+          | Some (off, len) -> List.init len (fun i -> off + i)
+          | None -> [])
+  | Profile.Overdecomposed k ->
+      let chunks = blocks ~parts:(parts * k) n in
+      let out = Array.make parts [] in
+      List.iteri
+        (fun j (off, len) ->
+          let w = j mod parts in
+          out.(w) <- out.(w) @ List.init len (fun i -> off + i))
+        chunks;
+      out
+
+let jittered (p : Profile.t) global_index cost =
+  if p.jitter_period > 0 && (global_index + 1) mod p.jitter_period = 0 then
+    cost *. p.jitter_factor
+  else cost
+
+(* Greedy earliest-free-core dispatch of a task list on [cores] cores
+   starting at [t0]; returns the makespan end time.  This is the
+   idealized behaviour of a work-stealing pool. *)
+let simulate_cores ~cores ~t0 task_times =
+  if task_times = [] then t0
+  else begin
+    let free = Heap.create () in
+    for _ = 1 to cores do
+      Heap.push free t0 ()
+    done;
+    let finish = ref t0 in
+    List.iter
+      (fun dt ->
+        match Heap.pop free with
+        | None -> assert false
+        | Some (t, ()) ->
+            let t' = t +. dt in
+            finish := max !finish t';
+            Heap.push free t' ())
+      task_times;
+    !finish
+  end
+
+(* Static (OpenMP-style) thread scheduling: contiguous near-equal
+   blocks of the unit list per core; the makespan is the heaviest
+   block.  Irregular unit costs go unbalanced. *)
+let simulate_cores_static ~cores ~t0 task_times =
+  let arr = Array.of_list task_times in
+  let n = Array.length arr in
+  if n = 0 then t0
+  else begin
+    let makespan = ref 0.0 in
+    List.iter
+      (fun (off, len) ->
+        let s = ref 0.0 in
+        for i = off to off + len - 1 do
+          s := !s +. arr.(i)
+        done;
+        makespan := max !makespan !s)
+      (blocks ~parts:cores n);
+    t0 +. !makespan
+  end
+
+let run_cores (p : Profile.t) ~cores ~t0 task_times =
+  match p.intra_node_scheduling with
+  | Profile.Work_stealing -> simulate_cores ~cores ~t0 task_times
+  | Profile.Static_threads -> simulate_cores_static ~cores ~t0 task_times
+
+let run (app : App_model.t) (p : Profile.t) (m : machine) : result =
+  try
+    let eff = p.seq_efficiency app.name in
+    if eff <= 0.0 then invalid_arg "Sched_sim.run: nonpositive efficiency";
+    let gc_total = ref 0.0 in
+    let gc bytes =
+      let t = p.gc_sec_per_byte *. float_of_int bytes in
+      gc_total := !gc_total +. t;
+      t
+    in
+    let ser bytes = float_of_int bytes /. p.serialize_bytes_per_sec in
+    let task_time i =
+      jittered p i (app.task_cost i /. eff)
+      +. p.task_overhead
+      +. gc (app.task_alloc_bytes i)
+    in
+    (* Setup phase (e.g. transposition) runs before distribution. *)
+    let setup_time =
+      if app.seq_setup_time = 0.0 then 0.0
+      else begin
+        let t = app.seq_setup_time /. eff in
+        if app.setup_shared_mem_ok && p.shared_memory then
+          t /. float_of_int m.cores_per_node
+        else t
+      end
+    in
+    let node_units = assign p.node_scheduling ~parts:m.nodes app.tasks in
+    let node_extra = app.node_extra_in_bytes m.nodes in
+    (* With a single node, "distribution" stays on the machine: no
+       network hop, no MPI buffer limit, and — for shared-memory
+       runtimes — no serialization at all, since main and the node
+       share a heap.  Eden's per-core processes still serialize locally
+       through the leader (handled below). *)
+    let local_only = m.nodes = 1 in
+    let net_time bytes = if local_only then 0.0 else Netmodel.transfer_time p.net bytes in
+    let main_ser bytes =
+      if local_only && p.shared_memory then 0.0 else ser bytes
+    in
+    let main_gc bytes = if local_only && p.shared_memory then 0.0 else gc bytes in
+    let units_in_bytes units =
+      if p.slices_input then
+        app.broadcast_bytes + node_extra
+        + List.fold_left (fun a i -> a + app.task_in_bytes i) 0 units
+      else app.broadcast_bytes + app.whole_in_bytes
+    in
+    let units_out_bytes per_process_grids units =
+      (per_process_grids * app.node_out_bytes)
+      + List.fold_left (fun a i -> a + app.task_out_bytes i) 0 units
+    in
+    let scattered = ref 0 and gathered = ref 0 in
+    (* Main serializes node messages one after another. *)
+    let main_t = ref setup_time in
+    let node_results = ref [] in
+    let scatter_done = ref setup_time and compute_done = ref setup_time in
+    Array.iteri
+      (fun _node units ->
+        if units <> [] then begin
+          let in_bytes = units_in_bytes units in
+          scattered := !scattered + in_bytes;
+          (* The main process's serializer and NIC are occupied for the
+             whole send: later nodes wait behind earlier messages. *)
+          main_t := !main_t +. main_ser in_bytes +. main_gc in_bytes
+                    +. net_time in_bytes;
+          let arrival = !main_t +. main_ser in_bytes in
+          scatter_done := max !scatter_done arrival;
+          let node_end, out_bytes =
+            if p.shared_memory then begin
+              (* One process per node; threads share the heap: no
+                 intra-node copying, one result per node. *)
+              let times = List.map task_time units in
+              let fin = run_cores p ~cores:m.cores_per_node ~t0:arrival times in
+              (fin, units_out_bytes 1 units)
+            end
+            else begin
+              (* Eden model: a leader process forwards each core's share
+                 through local (re-serialized) messages; each core is a
+                 full process producing its own copy of reduction
+                 results, merged pairwise by the leader. *)
+              let shares =
+                assign Profile.Static_blocks ~parts:m.cores_per_node
+                  (List.length units)
+              in
+              let units_arr = Array.of_list units in
+              let leader_t = ref arrival in
+              let fin = ref arrival in
+              let merge_bytes = ref 0 in
+              Array.iter
+                (fun share ->
+                  if share <> [] then begin
+                    let share_units =
+                      List.map (fun k -> units_arr.(k)) share
+                    in
+                    let in_b = units_in_bytes share_units in
+                    leader_t := !leader_t +. ser in_b;
+                    let core_end =
+                      simulate_cores ~cores:1 ~t0:!leader_t
+                        (List.map task_time share_units)
+                    in
+                    let out_b = units_out_bytes 1 share_units in
+                    merge_bytes := !merge_bytes + out_b;
+                    fin := max !fin (core_end +. ser out_b)
+                  end)
+                shares;
+              (* Leader merges the per-core results. *)
+              let fin = !fin +. ser !merge_bytes +. gc !merge_bytes in
+              (fin, units_out_bytes 1 units)
+            end
+          in
+          compute_done := max !compute_done node_end;
+          gathered := !gathered + out_bytes;
+          let reply_arrival = node_end +. main_ser out_bytes +. net_time out_bytes in
+          node_results := (reply_arrival, out_bytes) :: !node_results
+        end)
+      node_units;
+    let replies = List.sort compare !node_results in
+    let main_free = ref !main_t in
+    (if p.tree_gather then begin
+       (* Binary combining tree: log2(n) rounds of pairwise
+          send + merge among the nodes, then one reply reaches main. *)
+       match replies with
+       | [] -> ()
+       | _ ->
+           let n = List.length replies in
+           let depth =
+             if n <= 1 then 0
+             else int_of_float (ceil (log (float_of_int n) /. log 2.0))
+           in
+           let last_arrival =
+             List.fold_left (fun a (t, _) -> max a t) 0.0 replies
+           in
+           let bytes = List.fold_left (fun a (_, b) -> max a b) 0 replies in
+           let round = ser bytes +. net_time bytes +. ser bytes in
+           let root_done = last_arrival +. (float_of_int depth *. round) in
+           main_free :=
+             max !main_free root_done
+             +. net_time bytes +. main_ser bytes +. main_gc bytes
+     end
+     else
+       (* Main receives replies in arrival order and merges
+          sequentially: receiving occupies main's NIC and deserializer,
+          then the result is merged (touching and, in a GC'd runtime,
+          allocating the merged bytes). *)
+       List.iter
+         (fun (arrival, bytes) ->
+           let start = max arrival !main_free in
+           main_free :=
+             start +. net_time bytes +. main_ser bytes +. main_gc bytes)
+         replies);
+    let total = max !main_free !compute_done in
+    Completed
+      {
+        total;
+        setup_time;
+        scatter_done = !scatter_done;
+        compute_done = !compute_done;
+        bytes_scattered = !scattered;
+        bytes_gathered = !gathered;
+        gc_time = !gc_total;
+      }
+  with Netmodel.Message_too_large { bytes; limit } ->
+    Failed
+      (Printf.sprintf "message of %d bytes exceeds runtime buffer limit %d"
+         bytes limit)

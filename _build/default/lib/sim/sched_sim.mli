@@ -1,0 +1,32 @@
+(** Scheduler/communication simulation of one application run: replays
+    an {!App_model} under a {!Profile} on an abstract [nodes x cores]
+    machine.
+
+    Simulated policies (all from the paper): two-level distribution
+    with shared memory per node vs per-core processes with hierarchical
+    re-serializing forwarding; sliced vs whole inputs; static vs
+    over-decomposed node scheduling; static threads vs work stealing
+    inside a node; sequential message construction on main with GC cost
+    on large allocations; main's NIC as an occupied resource.  Single-
+    node runs pay no network and, for shared-memory runtimes, no
+    serialization. *)
+
+type machine = { nodes : int; cores_per_node : int }
+
+type breakdown = {
+  total : float;
+  setup_time : float;
+  scatter_done : float;  (** when the last worker has its input *)
+  compute_done : float;
+  bytes_scattered : int;
+  bytes_gathered : int;
+  gc_time : float;  (** time attributed to allocation/GC *)
+}
+
+type result =
+  | Completed of breakdown
+  | Failed of string  (** e.g. Eden's message-buffer overflow *)
+
+val total_cores : machine -> int
+
+val run : App_model.t -> Profile.t -> machine -> result

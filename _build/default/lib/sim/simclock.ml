@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    The host for this reproduction has a single CPU core, so the paper's
+    128-core scalability figures cannot be re-measured physically.  They
+    are instead *simulated*: real measured per-task compute costs and
+    real serialized byte counts are replayed under each system's
+    scheduling and communication policy (see DESIGN.md, Substitutions).
+    This module is the time base: a priority queue of timestamped
+    events, each an action that may schedule further events. *)
+
+type t = {
+  events : (t -> unit) Heap.t;
+  mutable now : float;
+  mutable processed : int;
+}
+
+let create () = { events = Heap.create (); now = 0.0; processed = 0 }
+
+let now t = t.now
+
+let events_processed t = t.processed
+
+(** Schedule [f] at absolute time [time] (must not be in the past). *)
+let schedule t time f =
+  if time < t.now -. 1e-12 then
+    invalid_arg "Simclock.schedule: time in the past";
+  Heap.push t.events (max time t.now) f
+
+(** Schedule [f] after a delay of [dt] seconds. *)
+let schedule_in t dt f =
+  if dt < 0.0 then invalid_arg "Simclock.schedule_in: negative delay";
+  schedule t (t.now +. dt) f
+
+(** Run events in timestamp order until the queue drains.  Ties are
+    broken by insertion order (heap order is stable enough for our use:
+    all handlers are commutative at equal timestamps). *)
+let run t =
+  let rec loop () =
+    match Heap.pop t.events with
+    | None -> ()
+    | Some (time, f) ->
+        t.now <- time;
+        t.processed <- t.processed + 1;
+        f t;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,25 @@
+(** Discrete-event simulation engine: a priority queue of timestamped
+    actions, each of which may schedule further events.
+
+    The host has a single CPU core, so the paper's 128-core figures are
+    simulated rather than re-measured (see DESIGN.md, Substitutions);
+    this module is the time base. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time in seconds. *)
+
+val events_processed : t -> int
+
+val schedule : t -> float -> (t -> unit) -> unit
+(** Schedule at an absolute time; raises [Invalid_argument] for times in
+    the past. *)
+
+val schedule_in : t -> float -> (t -> unit) -> unit
+(** Schedule after a non-negative delay. *)
+
+val run : t -> unit
+(** Process events in timestamp order until the queue drains. *)

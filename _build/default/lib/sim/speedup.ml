@@ -1,0 +1,58 @@
+(** Core-count sweeps producing the speedup-vs-cores series of the
+    paper's Figures 4, 5, 7 and 8.
+
+    Speedup is normalized against the *sequential C* time of the same
+    application (the reference implementation's measured cost), exactly
+    as in the paper. *)
+
+type point = { cores : int; speedup : float option }
+(** [speedup = None] marks a failed configuration (Eden's sgemm runs
+    out of message buffer at >= 2 nodes). *)
+
+type series = { profile_name : string; points : point list }
+
+(** Machines matching the evaluation platform: full 16-core nodes are
+    added one at a time, 1..8 nodes (16..128 cores), plus the 1-core
+    point. *)
+let default_machines ?(cores_per_node = 16) ?(max_nodes = 8) () =
+  { Sched_sim.nodes = 1; cores_per_node = 1 }
+  :: List.init max_nodes (fun k ->
+         { Sched_sim.nodes = k + 1; cores_per_node })
+
+let sweep app profile machines =
+  let seq_time = App_model.sequential_time app in
+  let points =
+    List.map
+      (fun m ->
+        let cores = Sched_sim.total_cores m in
+        match Sched_sim.run app profile m with
+        | Sched_sim.Completed b ->
+            { cores; speedup = Some (seq_time /. b.Sched_sim.total) }
+        | Sched_sim.Failed _ -> { cores; speedup = None })
+      machines
+  in
+  { profile_name = profile.Profile.name; points }
+
+(** Sweep all three systems over the default machines. *)
+let compare_systems ?efficiency_for app =
+  let eff name =
+    match efficiency_for with None -> None | Some f -> Some (f name)
+  in
+  let profiles =
+    [
+      Profile.cmpi ?efficiency:(eff "C+MPI+OpenMP") ();
+      Profile.triolet ?efficiency:(eff "Triolet") ();
+      Profile.eden ?efficiency:(eff "Eden") ();
+    ]
+  in
+  List.map (fun p -> sweep app p (default_machines ())) profiles
+
+let max_speedup series =
+  List.fold_left
+    (fun acc pt -> match pt.speedup with Some s -> max acc s | None -> acc)
+    0.0 series.points
+
+let speedup_at series cores =
+  List.find_map
+    (fun pt -> if pt.cores = cores then pt.speedup else None)
+    series.points

@@ -1,0 +1,24 @@
+(** Core-count sweeps producing the speedup-vs-cores series of Figures
+    4, 5, 7 and 8, normalized against sequential C as in the paper. *)
+
+type point = {
+  cores : int;
+  speedup : float option;  (** [None] marks a failed configuration *)
+}
+
+type series = { profile_name : string; points : point list }
+
+val default_machines :
+  ?cores_per_node:int -> ?max_nodes:int -> unit -> Sched_sim.machine list
+(** The evaluation platform's shapes: a 1-core point plus 1..8 full
+    16-core nodes. *)
+
+val sweep : App_model.t -> Profile.t -> Sched_sim.machine list -> series
+
+val compare_systems :
+  ?efficiency_for:(string -> string -> float) -> App_model.t -> series list
+(** C+MPI+OpenMP, Triolet and Eden over the default machines;
+    [efficiency_for system kernel] overrides profile efficiencies. *)
+
+val max_speedup : series -> float
+val speedup_at : series -> int -> float option

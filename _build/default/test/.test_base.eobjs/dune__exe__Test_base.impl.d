@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Array Bytes Codec Float List Payload QCheck2 QCheck_alcotest Rng Rw Triolet_base Vec

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bytes Float Fun List QCheck2 QCheck_alcotest Triolet_base Triolet_baselines

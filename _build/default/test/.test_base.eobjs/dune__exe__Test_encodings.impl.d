@@ -1,0 +1,1 @@
+test/test_encodings.ml: Alcotest Array Collector Float Folder Fun Indexer List QCheck2 QCheck_alcotest Shape Stepper Triolet Triolet_base Triolet_runtime

@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Array Bytes Collector Config Float Folder Fun Iter List QCheck2 QCheck_alcotest Seq Seq_iter Stepper Triolet Triolet_base Triolet_runtime

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Triolet_harness Triolet_kernels Triolet_sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Config Cutcp Dataset Float Iter List Mriq Printf QCheck2 QCheck_alcotest Seq_iter Sgemm Tpacf Triolet Triolet_base Triolet_kernels Triolet_runtime

@@ -1,0 +1,1 @@
+test/test_iter.ml: Alcotest Array Config Float Fun Iter List QCheck2 QCheck_alcotest Seq_iter Triolet Triolet_base Triolet_runtime

@@ -1,0 +1,1 @@
+test/test_iter2.ml: Alcotest Array Config Float Iter Iter2 List Matrix QCheck2 QCheck_alcotest Triolet Triolet_base Triolet_runtime

@@ -1,0 +1,1 @@
+test/test_iter3.ml: Alcotest Array Config Float Grid3 Iter Iter3 List QCheck2 QCheck_alcotest Triolet Triolet_kernels Triolet_runtime

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Config Cutcp Dataset Float Iter Iter2 List Matrix Models Mriq QCheck2 QCheck_alcotest Sgemm Tpacf Triolet Triolet_base Triolet_kernels Triolet_runtime Triolet_sim

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bytes Cluster Domain Float Fun Int64 List Mailbox Partition Pool QCheck2 QCheck_alcotest Stats Triolet_base Triolet_runtime Wsdeque

@@ -1,0 +1,1 @@
+test/test_seq_iter.ml: Alcotest Array Collector Float Indexer List Option QCheck2 QCheck_alcotest Seq_iter Shape Stepper Triolet Triolet_runtime

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest App_model Heap List Netmodel Printf Profile QCheck2 QCheck_alcotest Sched_sim Simclock Speedup Triolet_sim

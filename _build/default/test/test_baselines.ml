@@ -1,0 +1,158 @@
+(* Tests for the Eden-model baseline: list skeleton semantics, chunking,
+   and the serializing process farm (whole-structure serialization with
+   byte accounting). *)
+
+module E = Triolet_baselines.Eden_list
+module Codec = Triolet_base.Codec
+
+let check_int = Alcotest.(check int)
+let check_il = Alcotest.(check (list int))
+
+let qtest name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Skeleton semantics                                                  *)
+
+let test_skeletons () =
+  check_il "map" [ 2; 4 ] (E.map (( * ) 2) [ 1; 2 ]);
+  check_il "filter" [ 2 ] (E.filter (fun x -> x mod 2 = 0) [ 1; 2; 3 ]);
+  check_il "concat_map" [ 0; 0; 1 ] (E.concat_map (fun n -> List.init n Fun.id) [ 1; 2 ]);
+  Alcotest.(check (list (pair int string)))
+    "zip" [ (1, "a") ] (E.zip [ 1 ] [ "a" ]);
+  check_int "fold" 6 (E.fold ( + ) 0 [ 1; 2; 3 ]);
+  Alcotest.(check (float 0.0)) "sum_float" 6.0 (E.sum_float [ 1.0; 2.0; 3.0 ])
+
+let test_zip3 () =
+  Alcotest.(check (list (triple int int int)))
+    "zip3"
+    [ (1, 10, 100); (2, 20, 200) ]
+    (E.zip3 [ 1; 2 ] [ 10; 20 ] [ 100; 200 ])
+
+let test_histograms () =
+  Alcotest.(check (array int)) "histogram" [| 2; 1 |]
+    (E.histogram ~bins:2 [ 0; 1; 0; 7; -3 ]);
+  let wh = E.weighted_histogram ~bins:2 [ (0, 1.5); (1, 2.0); (0, 0.5) ] in
+  Alcotest.(check (float 1e-12)) "weighted" 2.0 (Float.Array.get wh 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chunking                                                            *)
+
+let test_chunk_shapes () =
+  Alcotest.(check (list (list int)))
+    "even" [ [ 1; 2 ]; [ 3; 4 ] ]
+    (E.chunk ~parts:2 [ 1; 2; 3; 4 ]);
+  Alcotest.(check (list (list int)))
+    "uneven" [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (E.chunk ~parts:3 [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list (list int)))
+    "more parts than items" [ [ 1 ]; [ 2 ] ]
+    (E.chunk ~parts:5 [ 1; 2 ]);
+  Alcotest.(check (list (list int))) "empty" [] (E.chunk ~parts:3 [])
+
+let prop_chunk_concat =
+  qtest "chunks concatenate to the input"
+    QCheck2.Gen.(pair (list_size (int_bound 50) int) (int_range 1 9))
+    (fun (l, parts) -> List.concat (E.chunk ~parts l) = l)
+
+let prop_chunk_balanced =
+  qtest "chunk sizes differ by at most 1"
+    QCheck2.Gen.(pair (list_size (int_bound 60) int) (int_range 1 9))
+    (fun (l, parts) ->
+      match E.chunk ~parts l with
+      | [] -> l = []
+      | chunks ->
+          let sizes = List.map List.length chunks in
+          let mn = List.fold_left min max_int sizes in
+          let mx = List.fold_left max 0 sizes in
+          mx - mn <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Farm: whole-structure serialization                                 *)
+
+let test_farm_results_in_order () =
+  let results, bytes =
+    E.farm ~processes:3 ~codec:Codec.int
+      ~f:(fun chunk -> List.fold_left ( + ) 0 chunk)
+      (List.init 10 Fun.id)
+  in
+  check_il "per-process sums" [ 0 + 1 + 2 + 3; 4 + 5 + 6; 7 + 8 + 9 ] results;
+  (* 10 ints at 8 bytes plus one list header per chunk *)
+  check_int "bytes counted" ((10 * 8) + (3 * 8)) bytes
+
+let test_farm_reduce () =
+  let total, _ =
+    E.farm_reduce ~processes:4 ~codec:Codec.int
+      ~f:(fun chunk -> List.length chunk)
+      ~merge:( + ) ~init:0
+      (List.init 13 Fun.id)
+  in
+  check_int "total" 13 total
+
+let test_farm_isolation () =
+  (* The farm decodes fresh structure: mutating what the worker received
+     cannot affect the caller's data. *)
+  let data = [ Bytes.of_string "abc" ] in
+  let codec =
+    Codec.map ~inj:Bytes.of_string ~proj:Bytes.to_string Codec.string
+  in
+  let _, _ =
+    E.farm ~processes:1 ~codec
+      ~f:(fun chunk ->
+        List.iter (fun b -> Bytes.set b 0 'X') chunk;
+        ())
+      data
+  in
+  Alcotest.(check string) "caller's data untouched" "abc"
+    (Bytes.to_string (List.hd data))
+
+let test_farm_bytes_scale_with_whole_structure () =
+  (* Every element is serialized exactly once regardless of process
+     count (chunks partition the list), but the *whole* structure always
+     moves — there is no slicing to what each worker uses. *)
+  let l = List.init 100 float_of_int in
+  let bytes_for p =
+    snd (E.farm ~processes:p ~codec:Codec.float ~f:(fun _ -> ()) l)
+  in
+  let b2 = bytes_for 2 and b5 = bytes_for 5 in
+  check_int "2 processes" ((100 * 8) + (2 * 8)) b2;
+  check_int "5 processes" ((100 * 8) + (5 * 8)) b5
+
+let prop_farm_equals_direct =
+  qtest "farm-reduce = direct fold"
+    QCheck2.Gen.(pair (list_size (int_bound 40) (int_range 0 100)) (int_range 1 6))
+    (fun (l, p) ->
+      let direct = List.fold_left ( + ) 0 l in
+      let farmed, _ =
+        E.farm_reduce ~processes:p ~codec:Codec.int
+          ~f:(List.fold_left ( + ) 0)
+          ~merge:( + ) ~init:0 l
+      in
+      farmed = direct)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "skeletons",
+        [
+          Alcotest.test_case "basics" `Quick test_skeletons;
+          Alcotest.test_case "zip3" `Quick test_zip3;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+        ] );
+      ( "chunk",
+        [
+          Alcotest.test_case "shapes" `Quick test_chunk_shapes;
+          prop_chunk_concat;
+          prop_chunk_balanced;
+        ] );
+      ( "farm",
+        [
+          Alcotest.test_case "results in order" `Quick
+            test_farm_results_in_order;
+          Alcotest.test_case "farm_reduce" `Quick test_farm_reduce;
+          Alcotest.test_case "isolation" `Quick test_farm_isolation;
+          Alcotest.test_case "whole-structure bytes" `Quick
+            test_farm_bytes_scale_with_whole_structure;
+          prop_farm_equals_direct;
+        ] );
+    ]

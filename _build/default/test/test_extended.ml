@@ -1,0 +1,505 @@
+(* Tests for the extended library surface: stepper/folder/collector
+   extras (scan, take_while, searches, keyed reduction), Seq_iter
+   filter_map/append/Let_syntax comprehensions, Iter statistics, and
+   pool exception propagation. *)
+
+open Triolet
+
+let check_int = Alcotest.(check int)
+let check_il = Alcotest.(check (list int))
+let check_float = Alcotest.(check (float 1e-9))
+
+let qtest name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen prop)
+
+let () = Triolet_runtime.Pool.set_default_width 2
+
+let () =
+  Config.set_cluster
+    { Triolet_runtime.Cluster.nodes = 3; cores_per_node = 2; flat = false }
+
+(* ------------------------------------------------------------------ *)
+(* Stepper extras                                                      *)
+
+let slist = Stepper.to_list
+
+let test_stepper_take_drop_while () =
+  check_il "take_while" [ 0; 1; 2 ]
+    (slist (Stepper.take_while (fun x -> x < 3) (Stepper.range 0 10)));
+  check_il "take_while all" [ 0; 1 ]
+    (slist (Stepper.take_while (fun _ -> true) (Stepper.range 0 2)));
+  check_il "drop_while" [ 3; 4 ]
+    (slist (Stepper.drop_while (fun x -> x < 3) (Stepper.range 0 5)));
+  check_il "drop_while nothing" [ 0; 1 ]
+    (slist (Stepper.drop_while (fun _ -> false) (Stepper.range 0 2)));
+  (* drop_while only drops the *prefix* *)
+  check_il "prefix only" [ 5; 1; 6 ]
+    (slist (Stepper.drop_while (fun x -> x < 3) (Stepper.of_list [ 1; 2; 5; 1; 6 ])))
+
+let test_stepper_scan () =
+  check_il "prefix sums" [ 1; 3; 6; 10 ]
+    (slist (Stepper.scan ( + ) 0 (Stepper.range 1 5)));
+  check_il "scan of empty" [] (slist (Stepper.scan ( + ) 0 Stepper.empty));
+  (* scan interacts with skips: filtered elements don't emit *)
+  check_il "scan over filter" [ 0; 2; 6; 12 ]
+    (slist
+       (Stepper.scan ( + ) 0
+          (Stepper.filter (fun x -> x mod 2 = 0) (Stepper.range 0 8))))
+
+let test_stepper_searches () =
+  Alcotest.(check bool) "exists" true
+    (Stepper.exists (fun x -> x = 7) (Stepper.range 0 10));
+  Alcotest.(check bool) "not exists" false
+    (Stepper.exists (fun x -> x = 70) (Stepper.range 0 10));
+  Alcotest.(check bool) "for_all" true
+    (Stepper.for_all (fun x -> x >= 0) (Stepper.range 0 10));
+  Alcotest.(check bool) "for_all empty" true
+    (Stepper.for_all (fun _ -> false) Stepper.empty);
+  Alcotest.(check (option int)) "find" (Some 3)
+    (Stepper.find (fun x -> x mod 3 = 0 && x > 0) (Stepper.range 1 10));
+  Alcotest.(check (option int)) "find none" None
+    (Stepper.find (fun x -> x > 100) (Stepper.range 0 10))
+
+let test_stepper_minmax_equal () =
+  check_float "min" 1.5 (Stepper.min_float (Stepper.of_list [ 3.0; 1.5; 2.0 ]));
+  check_float "max" 3.0 (Stepper.max_float (Stepper.of_list [ 3.0; 1.5; 2.0 ]));
+  Alcotest.(check bool) "min empty" true
+    (Stepper.min_float Stepper.empty = Float.infinity);
+  Alcotest.(check bool) "equal" true
+    (Stepper.equal ( = )
+       (Stepper.filter (fun x -> x mod 2 = 0) (Stepper.range 0 10))
+       (Stepper.map (fun x -> 2 * x) (Stepper.range 0 5)));
+  Alcotest.(check bool) "not equal (length)" false
+    (Stepper.equal ( = ) (Stepper.range 0 3) (Stepper.range 0 4))
+
+(* ------------------------------------------------------------------ *)
+(* Folder / Collector extras                                           *)
+
+let test_folder_extras () =
+  let f = Folder.of_list [ 4; 2; 9 ] in
+  Alcotest.(check bool) "exists" true (Folder.exists (fun x -> x = 9) f);
+  Alcotest.(check bool) "for_all" false (Folder.for_all (fun x -> x < 9) f);
+  check_int "count_if" 2 (Folder.count_if (fun x -> x mod 2 = 0) f);
+  check_float "min" 2.0 (Folder.min_float (Folder.of_list [ 4.0; 2.0 ]));
+  check_float "max" 4.0 (Folder.max_float (Folder.of_list [ 4.0; 2.0 ]))
+
+let test_collector_take () =
+  check_il "take" [ 0; 1; 2 ] (Collector.to_list (Collector.take 3 (Collector.range 0 100)));
+  check_il "take more than available" [ 0; 1 ]
+    (Collector.to_list (Collector.take 5 (Collector.range 0 2)))
+
+let test_collector_reduce_by_key () =
+  let pairs =
+    Collector.of_list [ (0, 2.0); (1, 3.0); (0, 4.0); (9, 1.0); (-1, 5.0) ]
+  in
+  let table = Collector.reduce_by_key ~size:3 ~merge:( +. ) ~init:0.0 pairs in
+  check_float "key 0" 6.0 table.(0);
+  check_float "key 1" 3.0 table.(1);
+  check_float "key 2 untouched" 0.0 table.(2);
+  (* keyed max instead of sum *)
+  let table2 =
+    Collector.reduce_by_key ~size:2 ~merge:Float.max ~init:Float.neg_infinity
+      (Collector.of_list [ (0, 2.0); (0, 7.0); (1, 1.0) ])
+  in
+  check_float "keyed max" 7.0 table2.(0)
+
+let test_collector_minmax () =
+  check_float "min" (-2.0) (Collector.min_float (Collector.of_list [ 3.0; -2.0 ]));
+  check_float "max" 3.0 (Collector.max_float (Collector.of_list [ 3.0; -2.0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Seq_iter extras                                                     *)
+
+let test_seq_iter_filter_map () =
+  let it =
+    Seq_iter.filter_map
+      (fun x -> if x mod 2 = 0 then Some (x * 10) else None)
+      (Seq_iter.range 0 6)
+  in
+  check_il "contents" [ 0; 20; 40 ] (Seq_iter.to_list it);
+  (* outer random access preserved, like filter *)
+  Alcotest.(check (option int)) "outer length" (Some 6)
+    (Seq_iter.outer_length it)
+
+let test_seq_iter_append () =
+  check_il "append" [ 1; 2; 3; 4 ]
+    (Seq_iter.to_list
+       (Seq_iter.append (Seq_iter.of_list [ 1; 2 ]) (Seq_iter.range 3 5)));
+  check_int "sum over append" 10
+    (Seq_iter.sum_int
+       (Seq_iter.append (Seq_iter.of_list [ 1; 2 ]) (Seq_iter.of_list [ 3; 4 ])))
+
+let test_seq_iter_searches () =
+  Alcotest.(check bool) "exists" true
+    (Seq_iter.exists (fun x -> x = 3) (Seq_iter.range 0 5));
+  Alcotest.(check bool) "for_all" true
+    (Seq_iter.for_all (fun x -> x < 5) (Seq_iter.range 0 5));
+  Alcotest.(check (option int)) "find" (Some 4)
+    (Seq_iter.find
+       (fun x -> x * x > 10)
+       (Seq_iter.filter (fun x -> x mod 2 = 0) (Seq_iter.range 0 10)));
+  check_float "min/max" 5.0
+    (Seq_iter.max_float (Seq_iter.of_floatarray (Float.Array.of_list [ 5.0; 1.0 ])))
+
+let test_let_syntax_comprehension () =
+  (* The cutcp comprehension shape:
+     [f a r | a <- atoms, r <- gridPts a] *)
+  let open Seq_iter.Let_syntax in
+  let atoms = Seq_iter.range 1 4 in
+  let it =
+    let* a = atoms in
+    let* r = Seq_iter.range 0 a in
+    return ((10 * a) + r)
+  in
+  check_il "nested comprehension" [ 10; 20; 21; 30; 31; 32 ]
+    (Seq_iter.to_list it);
+  (* let+ maps, and* zips *)
+  let it2 =
+    let+ x = Seq_iter.range 0 3 and+ y = Seq_iter.range 10 13 in
+    x + y
+  in
+  check_il "applicative zip" [ 10; 12; 14 ] (Seq_iter.to_list it2)
+
+let test_let_syntax_outer_parallelizable () =
+  (* Comprehensions over indexers keep a partitionable outer loop. *)
+  let open Seq_iter.Let_syntax in
+  let it =
+    let* a = Seq_iter.of_array [| 2; 0; 1 |] in
+    Seq_iter.range 0 a
+  in
+  Alcotest.(check (option int)) "outer length" (Some 3)
+    (Seq_iter.outer_length it);
+  check_il "first outer element only" [ 0; 1 ]
+    (Seq_iter.to_list (Seq_iter.slice_outer it 0 1))
+
+(* ------------------------------------------------------------------ *)
+(* Iter extras                                                         *)
+
+let with_hint h it =
+  match h with
+  | Iter.Sequential -> Iter.sequential it
+  | Iter.Local -> Iter.localpar it
+  | Iter.Distributed -> Iter.par it
+
+let each_hint f =
+  List.iter
+    (fun (name, h) -> f name h)
+    [ ("seq", Iter.Sequential); ("localpar", Iter.Local);
+      ("par", Iter.Distributed) ]
+
+let test_iter_filter_map () =
+  each_hint (fun name h ->
+      check_int ("filter_map " ^ name) 2450
+        (Iter.sum_int
+           (Iter.filter_map
+              (fun x -> if x mod 2 = 0 then Some x else None)
+              (with_hint h (Iter.range 0 100)))))
+
+let test_iter_statistics () =
+  let fa = Float.Array.init 1000 (fun i -> float_of_int ((i * 37) mod 101)) in
+  let reference_mean =
+    Float.Array.fold_left ( +. ) 0.0 fa /. float_of_int (Float.Array.length fa)
+  in
+  each_hint (fun name h ->
+      let it () = with_hint h (Iter.of_floatarray fa) in
+      check_float ("min " ^ name) 0.0 (Iter.min_float (it ()));
+      check_float ("max " ^ name) 100.0 (Iter.max_float (it ()));
+      Alcotest.(check bool) ("mean " ^ name) true
+        (Float.abs (Iter.mean (it ()) -. reference_mean) < 1e-6);
+      Alcotest.(check bool) ("exists " ^ name) true
+        (Iter.exists (fun x -> x = 100.0) (it ()));
+      Alcotest.(check bool) ("for_all " ^ name) true
+        (Iter.for_all (fun x -> x >= 0.0) (it ())))
+
+let test_iter_stats_empty () =
+  let e = Iter.of_floatarray (Float.Array.create 0) in
+  Alcotest.(check bool) "min empty" true (Iter.min_float e = Float.infinity);
+  Alcotest.(check bool) "mean empty" true (Float.is_nan (Iter.mean e))
+
+(* ------------------------------------------------------------------ *)
+(* Pool exception safety                                               *)
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  let p = Triolet_runtime.Pool.create ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Triolet_runtime.Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check bool) "raises" true
+        (try
+           Triolet_runtime.Pool.parallel_for p ~lo:0 ~hi:1000 (fun i ->
+               if i = 567 then raise (Boom i));
+           false
+         with Boom 567 -> true);
+      (* the pool survives and runs subsequent jobs *)
+      let s =
+        Triolet_runtime.Pool.parallel_reduce p ~lo:0 ~hi:100 ~f:Fun.id
+          ~merge:( + ) ~init:0 ()
+      in
+      check_int "pool alive after exception" 4950 s)
+
+let test_pool_exception_in_consumer () =
+  Alcotest.(check bool) "iter consumer propagates" true
+    (try
+       ignore
+         (Iter.sum
+            (Iter.map
+               (fun x -> if x = 77.0 then failwith "bad element" else x)
+               (Iter.localpar
+                  (Iter.of_floatarray (Float.Array.init 200 float_of_int)))));
+       false
+     with Failure _ -> true);
+  (* subsequent consumption works *)
+  check_float "pool usable" 4950.0
+    (Iter.sum (Iter.localpar (Iter.of_floatarray (Float.Array.init 100 float_of_int))))
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection: corrupted wire data                              *)
+
+let test_corrupt_payload_rejected () =
+  let p = [ Triolet_base.Payload.Floats (Float.Array.make 8 1.0) ] in
+  let bytes = Triolet_base.Codec.to_bytes Triolet_base.Payload.codec p in
+  (* truncate mid-array *)
+  let cut = Bytes.sub bytes 0 (Bytes.length bytes - 5) in
+  Alcotest.(check bool) "truncation detected" true
+    (try
+       ignore (Triolet_base.Codec.of_bytes Triolet_base.Payload.codec cut);
+       false
+     with Triolet_base.Rw.Underflow -> true);
+  (* corrupt the length header to a huge value *)
+  let huge = Bytes.copy bytes in
+  Bytes.set_int64_le huge 8 4611686018427387904L;
+  Alcotest.(check bool) "bogus length detected" true
+    (try
+       ignore (Triolet_base.Codec.of_bytes Triolet_base.Payload.codec huge);
+       false
+     with Triolet_base.Rw.Underflow | Invalid_argument _ | Out_of_memory ->
+       true)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let gen_small = QCheck2.Gen.(list_size (int_bound 40) (int_range (-50) 50))
+
+let prop_scan_last_is_fold =
+  qtest "scan's last element = fold" gen_small (fun l ->
+      match l with
+      | [] -> true
+      | _ ->
+          let scanned = slist (Stepper.scan ( + ) 0 (Stepper.of_list l)) in
+          List.nth scanned (List.length scanned - 1)
+          = List.fold_left ( + ) 0 l)
+
+let prop_filter_map_decomposes =
+  qtest "filter_map = filter . map" gen_small (fun l ->
+      let f x = if x > 0 then Some (x * 2) else None in
+      Seq_iter.to_list (Seq_iter.filter_map f (Seq_iter.of_list l))
+      = Seq_iter.to_list
+          (Seq_iter.map
+             (fun x -> x * 2)
+             (Seq_iter.filter (fun x -> x > 0) (Seq_iter.of_list l))))
+
+let prop_let_syntax_is_concat_map =
+  qtest "let* = concat_map"
+    QCheck2.Gen.(list_size (int_bound 15) (int_bound 4))
+    (fun l ->
+      let open Seq_iter.Let_syntax in
+      let a =
+        Seq_iter.to_list
+          (let* x = Seq_iter.of_list l in
+           Seq_iter.range 0 x)
+      in
+      let b =
+        Seq_iter.to_list
+          (Seq_iter.concat_map (fun x -> Seq_iter.range 0 x) (Seq_iter.of_list l))
+      in
+      a = b)
+
+let prop_mean_matches_reference =
+  qtest "mean matches direct computation"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 10.0))
+    (fun l ->
+      let fa = Float.Array.of_list l in
+      let reference = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+      Float.abs (Iter.mean (Iter.par (Iter.of_floatarray fa)) -. reference)
+      < 1e-9)
+
+let main_suites =
+    [
+      ( "stepper",
+        [
+          Alcotest.test_case "take/drop_while" `Quick test_stepper_take_drop_while;
+          Alcotest.test_case "scan" `Quick test_stepper_scan;
+          Alcotest.test_case "searches" `Quick test_stepper_searches;
+          Alcotest.test_case "min/max/equal" `Quick test_stepper_minmax_equal;
+          prop_scan_last_is_fold;
+        ] );
+      ( "folder-collector",
+        [
+          Alcotest.test_case "folder extras" `Quick test_folder_extras;
+          Alcotest.test_case "collector take" `Quick test_collector_take;
+          Alcotest.test_case "reduce_by_key" `Quick test_collector_reduce_by_key;
+          Alcotest.test_case "collector min/max" `Quick test_collector_minmax;
+        ] );
+      ( "seq_iter",
+        [
+          Alcotest.test_case "filter_map" `Quick test_seq_iter_filter_map;
+          Alcotest.test_case "append" `Quick test_seq_iter_append;
+          Alcotest.test_case "searches" `Quick test_seq_iter_searches;
+          Alcotest.test_case "let-syntax comprehension" `Quick
+            test_let_syntax_comprehension;
+          Alcotest.test_case "comprehension outer sliceable" `Quick
+            test_let_syntax_outer_parallelizable;
+          prop_filter_map_decomposes;
+          prop_let_syntax_is_concat_map;
+        ] );
+      ( "iter",
+        [
+          Alcotest.test_case "filter_map" `Quick test_iter_filter_map;
+          Alcotest.test_case "statistics" `Quick test_iter_statistics;
+          Alcotest.test_case "empty stats" `Quick test_iter_stats_empty;
+          prop_mean_matches_reference;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "pool exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "consumer exception" `Quick
+            test_pool_exception_in_consumer;
+          Alcotest.test_case "corrupt payload rejected" `Quick
+            test_corrupt_payload_rejected;
+        ] );
+    ]
+
+(* Monad laws for Seq_iter's Let_syntax, and Iter.sub. *)
+
+let eq_iter a b = Seq_iter.to_list a = Seq_iter.to_list b
+
+let gen_small_pos = QCheck2.Gen.(list_size (int_bound 15) (int_bound 5))
+
+let prop_monad_left_identity =
+  qtest "let*: left identity" QCheck2.Gen.(int_bound 10) (fun x ->
+      let open Seq_iter.Let_syntax in
+      let f v = Seq_iter.range 0 v in
+      eq_iter
+        (let* y = return x in
+         f y)
+        (f x))
+
+let prop_monad_right_identity =
+  qtest "let*: right identity" gen_small_pos (fun l ->
+      let open Seq_iter.Let_syntax in
+      let m = Seq_iter.of_list l in
+      eq_iter
+        (let* x = m in
+         return x)
+        (Seq_iter.of_list l))
+
+let prop_monad_associativity =
+  qtest "let*: associativity" gen_small_pos (fun l ->
+      let open Seq_iter.Let_syntax in
+      let m = Seq_iter.of_list l in
+      let f v = Seq_iter.range 0 v in
+      let g v = Seq_iter.range v (v + 2) in
+      let lhs =
+        let* y =
+          let* x = m in
+          f x
+        in
+        g y
+      in
+      let rhs =
+        let* x = Seq_iter.of_list l in
+        let* y = f x in
+        g y
+      in
+      eq_iter lhs rhs)
+
+let test_iter_sub () =
+  let it = Iter.range 0 100 in
+  let s = Iter.sub ~off:10 ~len:5 it in
+  check_int "len" 5 (Iter.length s);
+  check_il "contents" [ 10; 11; 12; 13; 14 ] (Iter.to_list s);
+  check_int "distributed sum" 60 (Iter.sum_int (Iter.par s));
+  Alcotest.check_raises "oob" (Invalid_argument "Iter.sub") (fun () ->
+      ignore (Iter.sub ~off:90 ~len:20 it))
+
+let prop_iter_sub_glues =
+  qtest "sub slices glue back"
+    QCheck2.Gen.(pair (int_range 1 60) (int_range 1 5))
+    (fun (n, k) ->
+      let it = Iter.map (fun x -> x * 3) (Iter.range 0 n) in
+      let blocks = Triolet_runtime.Partition.blocks ~parts:k n in
+      let glued =
+        Array.to_list blocks
+        |> List.concat_map (fun (off, len) -> Iter.to_list (Iter.sub ~off ~len it))
+      in
+      glued = Iter.to_list it)
+
+let law_suites =
+  [
+    ( "monad-laws",
+      [
+        prop_monad_left_identity;
+        prop_monad_right_identity;
+        prop_monad_associativity;
+      ] );
+    ( "iter-sub",
+      [ Alcotest.test_case "sub" `Quick test_iter_sub; prop_iter_sub_glues ] );
+  ]
+
+(* Stdlib Seq interop, Iter.of_list, and versioned codecs. *)
+
+let test_seq_interop () =
+  let s = Seq.ints 0 |> Seq.take 5 in
+  check_il "of_seq" [ 0; 1; 2; 3; 4 ] (Stepper.to_list (Stepper.of_seq s));
+  check_il "to_seq" [ 0; 2; 4 ]
+    (List.of_seq
+       (Stepper.to_seq (Stepper.filter (fun x -> x mod 2 = 0) (Stepper.range 0 6))));
+  check_il "seq_iter roundtrip" [ 1; 2 ]
+    (List.of_seq (Seq_iter.to_seq (Seq_iter.of_seq (List.to_seq [ 1; 2 ]))));
+  (* to_seq is lazily re-walkable *)
+  let sq = Stepper.to_seq (Stepper.range 0 3) in
+  check_int "walk twice" (List.length (List.of_seq sq)) (List.length (List.of_seq sq))
+
+let test_iter_of_list () =
+  check_il "contents" [ 5; 6; 7 ] (Iter.to_list (Iter.of_list [ 5; 6; 7 ]));
+  check_int "distributed with codec" 18
+    (Iter.sum_int
+       (Iter.par (Iter.of_list ~codec:Triolet_base.Codec.int [ 5; 6; 7 ])))
+
+let test_versioned_codec () =
+  let module Codec = Triolet_base.Codec in
+  let c = Codec.versioned ~version:3 (Codec.pair Codec.int Codec.string) in
+  Alcotest.(check (pair int string)) "roundtrip" (7, "x")
+    (Codec.roundtrip c (7, "x"));
+  check_int "size includes envelope"
+    (2 + Codec.(pair int string).Codec.size (7, "x"))
+    (c.Codec.size (7, "x"));
+  (* decoding with a different version fails loudly *)
+  let bytes = Codec.to_bytes c (7, "x") in
+  let c4 = Codec.versioned ~version:4 (Codec.pair Codec.int Codec.string) in
+  Alcotest.(check bool) "version mismatch" true
+    (try
+       ignore (Codec.of_bytes c4 bytes);
+       false
+     with Codec.Version_mismatch { expected = 4; got = 3 } -> true);
+  (* decoding unversioned bytes fails on the magic *)
+  Alcotest.(check bool) "bad magic" true
+    (try
+       ignore (Codec.of_bytes c (Codec.to_bytes Codec.int 99));
+       false
+     with Triolet_base.Rw.Underflow -> true)
+
+let () =
+  Alcotest.run "extended"
+    (main_suites @ law_suites
+    @ [
+        ( "interop",
+          [
+            Alcotest.test_case "Seq interop" `Quick test_seq_interop;
+            Alcotest.test_case "Iter.of_list" `Quick test_iter_of_list;
+            Alcotest.test_case "versioned codec" `Quick test_versioned_codec;
+          ] );
+      ])

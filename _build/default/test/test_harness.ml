@@ -1,0 +1,119 @@
+(* Tests for the figure harness: table rendering, calibration
+   efficiency clamping, TSV export, and the figure context plumbing. *)
+
+module Table = Triolet_harness.Table
+module Calibrate = Triolet_harness.Calibrate
+module Figures = Triolet_harness.Figures
+module Speedup = Triolet_sim.Speedup
+
+let check_s = Alcotest.(check string)
+
+let test_table_render () =
+  check_s "alignment"
+    "a   | bb\n----+---\nxxx | y " 
+    (Table.render [ [ "a"; "bb" ]; [ "xxx"; "y" ] ]);
+  check_s "empty" "" (Table.render [])
+
+let test_table_formats () =
+  check_s "f1" "3.1" (Table.f1 3.14159);
+  check_s "f2" "3.14" (Table.f2 3.14159);
+  check_s "seconds ms" "12.0 ms" (Table.seconds 0.012);
+  check_s "seconds us" "900.0 us" (Table.seconds 0.0009);
+  check_s "seconds s" "2.5 s" (Table.seconds 2.5);
+  check_s "seconds big" "120 s" (Table.seconds 120.4);
+  check_s "bytes" "117 B" (Table.bytes 117);
+  check_s "KiB" "1.5 KiB" (Table.bytes 1536);
+  check_s "MiB" "2.00 MiB" (Table.bytes (2 * 1024 * 1024))
+
+let test_efficiencies_clamped () =
+  let times =
+    [
+      {
+        Calibrate.kernel = "k";
+        c_time = 1.0;
+        triolet_time = 1e9 (* pathologically slow measurement *);
+        eden_time = 1e-9 (* pathologically fast *);
+      };
+    ]
+  in
+  let eff = Calibrate.efficiencies times in
+  Alcotest.(check (float 1e-9)) "floor" 0.02 (eff "Triolet" "k");
+  Alcotest.(check (float 1e-9)) "ceiling" 1.5 (eff "Eden" "k");
+  Alcotest.(check (float 1e-9)) "unknown kernel" 1.0 (eff "Triolet" "nope");
+  Alcotest.(check (float 1e-9)) "unknown system" 1.0 (eff "Rust" "k")
+
+let test_series_to_tsv () =
+  let series =
+    [
+      {
+        Speedup.profile_name = "A";
+        points =
+          [
+            { Speedup.cores = 1; speedup = Some 1.0 };
+            { Speedup.cores = 16; speedup = None };
+          ];
+      };
+      {
+        Speedup.profile_name = "B";
+        points =
+          [
+            { Speedup.cores = 1; speedup = Some 0.5 };
+            { Speedup.cores = 16; speedup = Some 8.25 };
+          ];
+      };
+    ]
+  in
+  check_s "tsv"
+    "cores\tlinear\tA\tB\n1\t1\t1.000\t0.500\n16\t16\tnan\t8.250\n"
+    (Figures.series_to_tsv series)
+
+let test_model_of_rejects_unknown () =
+  (* A context without measurement: build via the default rates by
+     constructing the model directly. *)
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Figures.model_of: unknown kernel nope") (fun () ->
+      let fake =
+        {
+          Figures.times = [];
+          rates = Triolet_kernels.Models.default_rates;
+          efficiency = (fun _ _ -> 1.0);
+          measured_efficiency = false;
+        }
+      in
+      ignore (Figures.model_of fake "nope"))
+
+let test_models_kernel_names_align () =
+  (* The models' names must match what the profiles' efficiency tables
+     key on, or calibration silently falls back to defaults. *)
+  List.iter
+    (fun app ->
+      let name = app.Triolet_sim.App_model.name in
+      Alcotest.(check bool)
+        (name ^ " has a non-default Triolet efficiency")
+        true
+        ((Triolet_sim.Profile.triolet ()).Triolet_sim.Profile.seq_efficiency
+           name
+        <> 0.9
+        ||
+        name = "sgemm" (* sgemm's table entry happens to equal 0.9 *)))
+    (Triolet_kernels.Models.all ())
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "calibrate",
+        [ Alcotest.test_case "clamping" `Quick test_efficiencies_clamped ] );
+      ( "figures",
+        [
+          Alcotest.test_case "tsv" `Quick test_series_to_tsv;
+          Alcotest.test_case "unknown kernel" `Quick
+            test_model_of_rejects_unknown;
+          Alcotest.test_case "model names align" `Quick
+            test_models_kernel_names_align;
+        ] );
+    ]

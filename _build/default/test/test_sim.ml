@@ -1,0 +1,406 @@
+(* Tests for the discrete-event simulator: heap, clock, network model,
+   scheduling policies, and the qualitative laws the paper's figures
+   rest on (more cores -> not slower; communication-bound apps
+   saturate; Eden's buffer limit fails sgemm; GC overhead shows up). *)
+
+open Triolet_sim
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let qtest name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_heap_duplicates_and_peek () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "a";
+  Heap.push h 1.0 "b";
+  Alcotest.(check (option (float 0.0))) "peek" (Some 1.0) (Heap.peek_key h);
+  check_int "len" 2 (Heap.length h);
+  ignore (Heap.pop h);
+  ignore (Heap.pop h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  qtest "heap = sort" QCheck2.Gen.(list (float_bound_inclusive 1000.0))
+    (fun l ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k k) l;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (k, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare l)
+
+(* ------------------------------------------------------------------ *)
+(* Simclock                                                            *)
+
+let test_clock_event_order () =
+  let c = Simclock.create () in
+  let log = ref [] in
+  Simclock.schedule c 2.0 (fun _ -> log := 2 :: !log);
+  Simclock.schedule c 1.0 (fun clk ->
+      log := 1 :: !log;
+      (* events may schedule further events *)
+      Simclock.schedule_in clk 0.5 (fun _ -> log := 15 :: !log));
+  Simclock.run c;
+  Alcotest.(check (list int)) "order" [ 1; 15; 2 ] (List.rev !log);
+  check_float "final time" 2.0 (Simclock.now c);
+  check_int "processed" 3 (Simclock.events_processed c)
+
+let test_clock_rejects_past () =
+  let c = Simclock.create () in
+  Simclock.schedule c 5.0 (fun clk ->
+      Alcotest.check_raises "past"
+        (Invalid_argument "Simclock.schedule: time in the past") (fun () ->
+          Simclock.schedule clk 1.0 (fun _ -> ())));
+  Simclock.run c
+
+(* ------------------------------------------------------------------ *)
+(* Netmodel                                                            *)
+
+let test_net_transfer_time () =
+  let net = Netmodel.make ~latency:1e-3 ~bytes_per_sec:1e6 () in
+  check_float "latency only" 1e-3 (Netmodel.transfer_time net 0);
+  check_float "with bytes" (1e-3 +. 0.5) (Netmodel.transfer_time net 500_000)
+
+let test_net_message_limit () =
+  let net = Netmodel.make ~max_message_bytes:100 () in
+  check_float "under limit ok" (Netmodel.transfer_time net 100)
+    (Netmodel.transfer_time net 100);
+  Alcotest.(check bool) "over limit raises" true
+    (try
+       ignore (Netmodel.transfer_time net 101);
+       false
+     with Netmodel.Message_too_large { bytes = 101; limit = 100 } -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Sched_sim on synthetic apps                                         *)
+
+let uniform_app ?(tasks = 1024) ?(cost = 1e-3) ?(in_bytes = 0) ?(out_bytes = 0)
+    ?(node_out = 0) ?(setup = 0.0) () =
+  App_model.make ~name:"synthetic" ~tasks
+    ~task_cost:(fun _ -> cost)
+    ~task_in_bytes:(fun _ -> in_bytes)
+    ~whole_in_bytes:(tasks * in_bytes)
+    ~task_out_bytes:(fun _ -> out_bytes)
+    ~node_out_bytes:node_out ~seq_setup_time:setup ()
+
+let ideal_profile =
+  (* No communication costs at all: pure compute scaling. *)
+  {
+    (Profile.cmpi ()) with
+    Profile.task_overhead = 0.0;
+    serialize_bytes_per_sec = infinity;
+    net = Netmodel.make ~latency:0.0 ~bytes_per_sec:infinity ();
+  }
+
+let run_ok app profile machine =
+  match Sched_sim.run app profile machine with
+  | Sched_sim.Completed b -> b
+  | Sched_sim.Failed m -> Alcotest.failf "unexpected failure: %s" m
+
+let test_ideal_linear_scaling () =
+  let app = uniform_app () in
+  let seq = App_model.sequential_time app in
+  let b =
+    run_ok app ideal_profile { Sched_sim.nodes = 4; cores_per_node = 4 }
+  in
+  let speedup = seq /. b.Sched_sim.total in
+  Alcotest.(check bool) "nearly linear" true (speedup > 15.2 && speedup <= 16.0001)
+
+let test_single_core_matches_sequential () =
+  let app = uniform_app () in
+  let b = run_ok app ideal_profile { Sched_sim.nodes = 1; cores_per_node = 1 } in
+  Alcotest.(check (float 1e-6)) "1 core = seq time"
+    (App_model.sequential_time app)
+    b.Sched_sim.total
+
+let test_efficiency_scales_time () =
+  let app = uniform_app () in
+  let half =
+    { ideal_profile with Profile.seq_efficiency = (fun _ -> 0.5) }
+  in
+  let b1 = run_ok app ideal_profile { Sched_sim.nodes = 1; cores_per_node = 1 } in
+  let b2 = run_ok app half { Sched_sim.nodes = 1; cores_per_node = 1 } in
+  Alcotest.(check (float 1e-6)) "half efficiency = double time"
+    (2.0 *. b1.Sched_sim.total) b2.Sched_sim.total
+
+let test_more_cores_not_slower () =
+  let app = uniform_app ~in_bytes:800 ~out_bytes:80 () in
+  List.iter
+    (fun p ->
+      let t n =
+        (run_ok app p { Sched_sim.nodes = n; cores_per_node = 16 }).Sched_sim.total
+      in
+      let rec mono n prev =
+        if n > 8 then ()
+        else begin
+          let t' = t n in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %d nodes not slower" p.Profile.name n)
+            true
+            (t' <= prev *. 1.05);
+          mono (n + 1) t'
+        end
+      in
+      mono 2 (t 1))
+    [ Profile.cmpi (); Profile.triolet () ]
+
+let test_communication_bound_saturates () =
+  (* Huge per-node output: adding nodes cannot keep scaling because the
+     main process merges results sequentially. *)
+  let app =
+    uniform_app ~tasks:4096 ~cost:1e-4 ~node_out:(32 * 1024 * 1024) ()
+  in
+  let p = Profile.triolet () in
+  let seq = App_model.sequential_time app in
+  let s n =
+    seq /. (run_ok app p { Sched_sim.nodes = n; cores_per_node = 16 }).Sched_sim.total
+  in
+  let s1 = s 1 and s8 = s 8 in
+  Alcotest.(check bool) "saturation: 8 nodes < 3x of 1 node" true
+    (s8 < 3.0 *. s1)
+
+let test_setup_limits_scaling () =
+  (* Amdahl: with a sequential setup of half the work, speedup < 2 even
+     on 128 cores for a profile without shared-memory setup. *)
+  let app = uniform_app ~setup:(1024.0 *. 1e-3) () in
+  let eden_like = { (Profile.eden ()) with Profile.seq_efficiency = (fun _ -> 1.0) } in
+  let seq = App_model.sequential_time app in
+  let b = run_ok app eden_like { Sched_sim.nodes = 8; cores_per_node = 16 } in
+  Alcotest.(check bool) "Amdahl bound" true (seq /. b.Sched_sim.total < 2.0);
+  (* Shared-memory runtimes parallelize the setup over one node. *)
+  let b2 = run_ok app (Profile.cmpi ()) { Sched_sim.nodes = 8; cores_per_node = 16 } in
+  Alcotest.(check bool) "localpar setup helps" true
+    (b2.Sched_sim.total < b.Sched_sim.total)
+
+let test_message_limit_fails () =
+  let app = uniform_app ~tasks:1024 ~in_bytes:(1024 * 1024) () in
+  (* Eden ships the whole input to every process: 1 GiB messages. *)
+  let p = Profile.eden () in
+  match Sched_sim.run app p { Sched_sim.nodes = 2; cores_per_node = 16 } with
+  | Sched_sim.Failed _ -> ()
+  | Sched_sim.Completed _ -> Alcotest.fail "expected message-buffer failure"
+
+let test_gc_overhead_counted () =
+  let app =
+    App_model.make ~name:"alloc" ~tasks:64
+      ~task_cost:(fun _ -> 1e-3)
+      ~task_alloc_bytes:(fun _ -> 10_000_000)
+      ()
+  in
+  let p = Profile.triolet () in
+  let b = run_ok app p { Sched_sim.nodes = 1; cores_per_node = 4 } in
+  Alcotest.(check bool) "gc time positive" true (b.Sched_sim.gc_time > 0.0);
+  let nogc = { p with Profile.gc_sec_per_byte = 0.0 } in
+  let b2 = run_ok app nogc { Sched_sim.nodes = 1; cores_per_node = 4 } in
+  Alcotest.(check bool) "gc slows the run" true
+    (b.Sched_sim.total > b2.Sched_sim.total)
+
+let test_overdecomposition_balances_irregular () =
+  (* Irregular unit costs, statically blocked: the expensive block
+     straggles. Over-decomposed round-robin spreads it. *)
+  let app =
+    App_model.make ~name:"skewed" ~tasks:256
+      ~task_cost:(fun i -> if i < 32 then 16e-3 else 1e-3)
+      ()
+  in
+  let machine = { Sched_sim.nodes = 8; cores_per_node = 1 } in
+  let static =
+    { ideal_profile with Profile.node_scheduling = Profile.Static_blocks }
+  in
+  let over =
+    { ideal_profile with Profile.node_scheduling = Profile.Overdecomposed 8 }
+  in
+  let ts = (run_ok app static machine).Sched_sim.total in
+  let to_ = (run_ok app over machine).Sched_sim.total in
+  Alcotest.(check bool) "overdecomposition wins" true (to_ < ts)
+
+let test_sliced_vs_whole_input_volume () =
+  let app = uniform_app ~tasks:1024 ~in_bytes:1000 () in
+  let m = { Sched_sim.nodes = 4; cores_per_node = 4 } in
+  let sliced = run_ok app (Profile.cmpi ()) m in
+  let whole =
+    run_ok app { (Profile.cmpi ()) with Profile.slices_input = false } m
+  in
+  check_int "sliced volume = input size" (1024 * 1000)
+    sliced.Sched_sim.bytes_scattered;
+  check_int "whole volume = nodes x input" (4 * 1024 * 1000)
+    whole.Sched_sim.bytes_scattered
+
+let test_jitter_slows_eden () =
+  let app = uniform_app ~tasks:512 () in
+  let eden = { (Profile.eden ()) with Profile.seq_efficiency = (fun _ -> 1.0) } in
+  let nojit = { eden with Profile.jitter_period = 0 } in
+  let m = { Sched_sim.nodes = 4; cores_per_node = 16 } in
+  let tj = (run_ok app eden m).Sched_sim.total in
+  let tn = (run_ok app nojit m).Sched_sim.total in
+  Alcotest.(check bool) "jitter costs time" true (tj > tn)
+
+let test_tree_gather_helps_output_bound () =
+  let app =
+    uniform_app ~tasks:2048 ~cost:1e-4 ~node_out:(64 * 1024 * 1024) ()
+  in
+  let base = Profile.cmpi () in
+  let tree = { base with Profile.tree_gather = true } in
+  let m = { Sched_sim.nodes = 8; cores_per_node = 16 } in
+  let t0 = (run_ok app base m).Sched_sim.total in
+  let t1 = (run_ok app tree m).Sched_sim.total in
+  Alcotest.(check bool) "tree gather faster" true (t1 < t0)
+
+let test_tree_gather_single_node_noop () =
+  let app = uniform_app ~tasks:64 ~node_out:1024 () in
+  let base = Profile.cmpi () in
+  let tree = { base with Profile.tree_gather = true } in
+  let m = { Sched_sim.nodes = 1; cores_per_node = 4 } in
+  Alcotest.(check (float 1e-9)) "same at 1 node"
+    (run_ok app base m).Sched_sim.total
+    (run_ok app tree m).Sched_sim.total
+
+let test_single_node_pays_no_network () =
+  (* At one node, data never crosses a network: a draconian message
+     limit cannot fail the run, and shared-memory runtimes pay no
+     serialization either. *)
+  let app = uniform_app ~tasks:256 ~in_bytes:(1024 * 1024) () in
+  let strangled =
+    { (Profile.cmpi ()) with
+      Profile.net = Netmodel.make ~max_message_bytes:1 () }
+  in
+  (match Sched_sim.run app strangled { Sched_sim.nodes = 1; cores_per_node = 8 } with
+  | Sched_sim.Completed _ -> ()
+  | Sched_sim.Failed m -> Alcotest.failf "should not fail locally: %s" m);
+  match Sched_sim.run app strangled { Sched_sim.nodes = 2; cores_per_node = 8 } with
+  | Sched_sim.Failed _ -> ()
+  | Sched_sim.Completed _ -> Alcotest.fail "2 nodes must hit the limit"
+
+let test_static_threads_hurt_irregular () =
+  (* Ramped unit costs within a node: static per-core blocks straggle
+     behind work stealing. *)
+  let app =
+    App_model.make ~name:"ramp" ~tasks:256
+      ~task_cost:(fun i -> 1e-4 *. (1.0 +. float_of_int (i mod 64)))
+      ()
+  in
+  let ws = { ideal_profile with Profile.intra_node_scheduling = Profile.Work_stealing } in
+  let st = { ideal_profile with Profile.intra_node_scheduling = Profile.Static_threads } in
+  let m = { Sched_sim.nodes = 1; cores_per_node = 16 } in
+  let tw = (run_ok app ws m).Sched_sim.total in
+  let ts = (run_ok app st m).Sched_sim.total in
+  Alcotest.(check bool) "work stealing wins" true (tw < ts)
+
+(* ------------------------------------------------------------------ *)
+(* Speedup sweeps                                                      *)
+
+let test_speedup_sweep_shape () =
+  let app = uniform_app ~tasks:2048 ~cost:1e-3 ~in_bytes:100 () in
+  let series = Speedup.sweep app (Profile.cmpi ()) (Speedup.default_machines ()) in
+  check_int "9 points" 9 (List.length series.Speedup.points);
+  (match series.Speedup.points with
+  | { Speedup.cores = 1; speedup = Some s } :: _ ->
+      Alcotest.(check bool) "first point ~1" true (s > 0.9 && s <= 1.01)
+  | _ -> Alcotest.fail "first point must be 1 core");
+  Alcotest.(check bool) "max speedup > 32" true (Speedup.max_speedup series > 32.0)
+
+let test_compare_systems_ranking () =
+  let app = uniform_app ~tasks:4096 ~cost:1e-3 ~in_bytes:100 ~out_bytes:8 () in
+  match Speedup.compare_systems app with
+  | [ c; t; e ] ->
+      Alcotest.(check string) "order" "C+MPI+OpenMP" c.Speedup.profile_name;
+      let sc = Speedup.max_speedup c
+      and st = Speedup.max_speedup t
+      and se = Speedup.max_speedup e in
+      Alcotest.(check bool) "C >= Triolet" true (sc >= st *. 0.99);
+      Alcotest.(check bool) "Triolet > Eden" true (st > se)
+  | _ -> Alcotest.fail "three systems"
+
+let prop_speedup_positive =
+  qtest "completed speedups are positive and bounded by cores+1"
+    QCheck2.Gen.(pair (int_range 1 64) (int_range 1 8))
+    (fun (tasks, nodes) ->
+      let app = uniform_app ~tasks ~cost:1e-3 () in
+      let seq = App_model.sequential_time app in
+      match
+        Sched_sim.run app (Profile.cmpi ())
+          { Sched_sim.nodes; cores_per_node = 4 }
+      with
+      | Sched_sim.Completed b ->
+          let s = seq /. b.Sched_sim.total in
+          s > 0.0 && s <= float_of_int (nodes * 4) +. 1.0
+      | Sched_sim.Failed _ -> false)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "duplicates/peek" `Quick
+            test_heap_duplicates_and_peek;
+          prop_heap_sorts;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "event order" `Quick test_clock_event_order;
+          Alcotest.test_case "rejects past" `Quick test_clock_rejects_past;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "transfer time" `Quick test_net_transfer_time;
+          Alcotest.test_case "message limit" `Quick test_net_message_limit;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "ideal linear scaling" `Quick
+            test_ideal_linear_scaling;
+          Alcotest.test_case "1 core = sequential" `Quick
+            test_single_core_matches_sequential;
+          Alcotest.test_case "efficiency scales time" `Quick
+            test_efficiency_scales_time;
+          Alcotest.test_case "more cores not slower" `Quick
+            test_more_cores_not_slower;
+          Alcotest.test_case "comm-bound saturates" `Quick
+            test_communication_bound_saturates;
+          Alcotest.test_case "Amdahl setup" `Quick test_setup_limits_scaling;
+          Alcotest.test_case "message limit fails" `Quick
+            test_message_limit_fails;
+          Alcotest.test_case "gc overhead" `Quick test_gc_overhead_counted;
+          Alcotest.test_case "overdecomposition balances" `Quick
+            test_overdecomposition_balances_irregular;
+          Alcotest.test_case "sliced vs whole volume" `Quick
+            test_sliced_vs_whole_input_volume;
+          Alcotest.test_case "jitter" `Quick test_jitter_slows_eden;
+          Alcotest.test_case "tree gather helps" `Quick
+            test_tree_gather_helps_output_bound;
+          Alcotest.test_case "tree gather 1-node noop" `Quick
+            test_tree_gather_single_node_noop;
+          Alcotest.test_case "1 node pays no network" `Quick
+            test_single_node_pays_no_network;
+          Alcotest.test_case "static threads straggle" `Quick
+            test_static_threads_hurt_irregular;
+        ] );
+      ( "speedup",
+        [
+          Alcotest.test_case "sweep shape" `Quick test_speedup_sweep_shape;
+          Alcotest.test_case "system ranking" `Quick test_compare_systems_ranking;
+          prop_speedup_positive;
+        ] );
+    ]
