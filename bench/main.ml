@@ -230,7 +230,87 @@ let bench_payload =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler: static chunk preload vs adaptive lazy splitting on
+   uniform and Zipf-skewed per-element work, pushed through the same
+   filter/concat_map pipeline shape that produces irregular loop nests
+   in the kernels.  Wall times go through Bechamel below; this section
+   also reports per-worker busy times from [Stats], whose max is the
+   makespan the schedule would have on dedicated cores — the
+   load-balance signal survives even when the host timeshares the
+   workers on fewer physical cores. *)
+
+module Pool = Triolet_runtime.Pool
+module Partition = Triolet_runtime.Partition
+module Stats = Triolet_runtime.Stats
+
+let sched_workers = 4
+let sched_n = 4096
+let sched_pool = lazy (Pool.create ~workers:sched_workers ())
+
+(* Outer loop of [sched_n] elements; [cost i] inner iterations each,
+   behind a filter so the scheduler sees the paper's filter/concat_map
+   nest, not a plain map. *)
+let sched_pipeline cost =
+  Iter.range 0 sched_n
+  |> Iter.filter (fun i -> i land 3 <> 3)
+  |> Iter.concat_map (fun i -> Seq_iter.range 0 (cost i))
+  |> Iter.map (fun j -> j land 1023)
+
+(* Inner-loop counts are sized so per-element cost dwarfs the fixed
+   per-element pipeline overhead (~0.3 µs of stepper transitions);
+   otherwise that uniform overhead dilutes the skew the family is
+   meant to exercise. *)
+let sched_uniform = sched_pipeline (fun _ -> 512)
+
+(* Zipf-ish skew: element i costs ~1/(i+1), so the first static chunk
+   holds ~70% of the total work. *)
+let sched_zipf = sched_pipeline (fun i -> 1 + (262_144 / (i + 1)))
+
+(* Hot band: a dense region (one static chunk wide, several grains
+   long) carries nearly all the work — the adversarial case for static
+   chunking, which cannot subdivide the hot chunk, while lazy splitting
+   keeps halving it until every worker holds a piece. *)
+let sched_spike =
+  sched_pipeline (fun i -> if i >= 1024 && i < 1280 then 16_384 else 64)
+
+let sched_chunk it off len = Iter.fold ( + ) 0 (Iter.sub ~off ~len it)
+
+(* Baseline: the pre-PR schedule — over-decomposed blocks preloaded
+   onto the deques, chunks never subdivided. *)
+let sched_static it () =
+  let pool = Lazy.force sched_pool in
+  let chunks =
+    Partition.blocks
+      ~parts:(Partition.chunk_count ~workers:(Pool.size pool) sched_n)
+      sched_n
+  in
+  Pool.parallel_chunks pool ~chunks ~f:(sched_chunk it) ~merge:( + ) ~init:0
+
+let sched_adaptive it () =
+  let pool = Lazy.force sched_pool in
+  Pool.parallel_range pool ~lo:0 ~hi:sched_n ~f:(sched_chunk it) ~merge:( + )
+    ~init:0 ()
+
+let bench_scheduler =
+  Test.make_grouped ~name:"scheduler-4w"
+    [
+      Test.make ~name:"uniform-static" (Staged.stage (sched_static sched_uniform));
+      Test.make ~name:"uniform-adaptive"
+        (Staged.stage (sched_adaptive sched_uniform));
+      Test.make ~name:"zipf-static" (Staged.stage (sched_static sched_zipf));
+      Test.make ~name:"zipf-adaptive" (Staged.stage (sched_adaptive sched_zipf));
+      Test.make ~name:"spike-static" (Staged.stage (sched_static sched_spike));
+      Test.make ~name:"spike-adaptive"
+        (Staged.stage (sched_adaptive sched_spike));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
+
+(* Accumulated (name, ns/run, speedup) rows for [--json]. *)
+let json_rows : (string * float * float option) list ref = ref []
+
+let add_row ?speedup name ns = json_rows := (name, ns, speedup) :: !json_rows
 
 let run_group test =
   let cfg =
@@ -255,8 +335,107 @@ let run_group test =
   in
   List.iter
     (fun (name, ns, r2) ->
+      add_row name ns;
       Printf.printf "  %-36s %14.1f ns/run   (r2 %.3f)\n" name ns r2)
     rows
+
+(* Measure several runs under [Stats.measure] and keep the fastest:
+   when the host timeshares the workers on fewer physical cores,
+   preemption inflates individual runs and the minimum is the least
+   contaminated sample of the schedule itself. *)
+let sched_measure ?(reps = 5) run =
+  ignore (run ());
+  (* warm: pool up, code compiled *)
+  let best = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let _, s = Stats.measure (fun () -> ignore (run ())) in
+    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    match !best with
+    | Some (w, _) when w <= wall_ns -> ()
+    | _ -> best := Some (wall_ns, s)
+  done;
+  let wall_ns, s = Option.get !best in
+  let makespan =
+    Array.fold_left
+      (fun m (w : Stats.worker_snapshot) -> max m w.w_busy_ns)
+      0 s.Stats.per_worker
+  in
+  (wall_ns, float_of_int makespan, s)
+
+let sched_report () =
+  print_endline
+    "\n-- scheduler load balance (4 workers, busy-time makespan) --";
+  Printf.printf "  %-10s %-10s %12s %12s %10s %8s %8s\n" "workload"
+    "scheduler" "wall(ms)" "makespan(ms)" "imbalance" "splits" "steals";
+  let variants =
+    [
+      ("uniform", sched_uniform); ("zipf", sched_zipf);
+      ("spike", sched_spike);
+    ]
+  in
+  List.iter
+    (fun (wname, it) ->
+      let report sname run =
+        let wall_ns, makespan_ns, s = sched_measure run in
+        Printf.printf "  %-10s %-10s %12.3f %12.3f %10.2f %8d %8d\n" wname
+          sname (wall_ns /. 1e6) (makespan_ns /. 1e6) (Stats.imbalance s)
+          s.Stats.splits s.Stats.steals;
+        (wall_ns, makespan_ns)
+      in
+      let st_wall, st_mk = report "static" (sched_static it) in
+      let ad_wall, ad_mk = report "adaptive" (sched_adaptive it) in
+      let projected = st_mk /. ad_mk in
+      Printf.printf
+        "  %-10s projected makespan speedup (static/adaptive): %.2fx\n" wname
+        projected;
+      add_row (Printf.sprintf "sched-balance/%s-static" wname) st_wall
+        ~speedup:1.0;
+      add_row
+        (Printf.sprintf "sched-balance/%s-adaptive" wname)
+        ad_wall ~speedup:projected)
+    variants
+
+let write_json file =
+  let oc = open_out file in
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let rows = List.rev !json_rows in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns, speedup) ->
+      let speedup_field =
+        match speedup with
+        | Some x when Float.is_finite x -> Printf.sprintf ", \"speedup\": %.4f" x
+        | _ -> ""
+      in
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f%s}%s\n"
+        (escape name)
+        (if Float.is_finite ns then ns else -1.0)
+        speedup_field
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length rows) file
+
+let json_file =
+  let rec find = function
+    | "--json" :: f :: _ -> Some f
+    | _ :: tl -> find tl
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
@@ -275,8 +454,12 @@ let () =
   run_group bench_cutcp_direction;
   print_endline "\n-- payload shipping (serialize + copy + decode) --";
   run_group bench_payload;
+  print_endline "\n-- scheduler: static preload vs adaptive lazy splitting --";
+  run_group bench_scheduler;
+  sched_report ();
   print_endline "\n-- kernel styles on micro instances (Figure 3 in miniature) --";
   run_group bench_kernels;
   print_endline "\n== Figures (Figure 3 measured; 4, 5, 7, 8 simulated) ==";
   let scale = if quick then 0.25 else 1.0 in
-  ignore (Triolet_harness.Figures.all ~scale ())
+  ignore (Triolet_harness.Figures.all ~scale ());
+  Option.iter write_json json_file

@@ -129,16 +129,24 @@ let map ~inj ~proj a =
     size = (fun v -> a.size (proj v));
   }
 
+(* The writer is preallocated at the exact wire size, so [Rw.detach]
+   hands its buffer over without the final copy — the cluster mailbox
+   hot path serializes every scatter/gather message through here. *)
 let to_bytes c v =
-  let w = Rw.create_writer ~capacity:(max 16 (c.size v)) () in
+  let w = Rw.create_writer ~capacity:(max 1 (c.size v)) () in
   c.encode w v;
-  Rw.contents w
+  Rw.detach w
 
 let of_bytes c b = c.decode (Rw.reader_of_bytes b)
 
 (** [roundtrip c v] encodes then decodes [v]; used by tests and by the
-    cluster runtime to force a genuine copy across a node boundary. *)
-let roundtrip c v = of_bytes c (to_bytes c v)
+    cluster runtime to force a genuine copy across a node boundary.  The
+    decoder reads straight over the writer's buffer ({!Rw.reader_of_writer}),
+    so the value is copied once (encode) rather than twice. *)
+let roundtrip c v =
+  let w = Rw.create_writer ~capacity:(max 1 (c.size v)) () in
+  c.encode w v;
+  c.decode (Rw.reader_of_writer w)
 
 exception Version_mismatch of { expected : int; got : int }
 (** Raised when decoding a {!versioned} value whose tag disagrees. *)

@@ -18,7 +18,7 @@ type reader = {
 }
 
 let create_writer ?(capacity = 256) () =
-  { buf = Bytes.create (max 16 capacity); len = 0 }
+  { buf = Bytes.create (max 1 capacity); len = 0 }
 
 let writer_length w = w.len
 
@@ -73,9 +73,17 @@ let write_floatarray w (a : floatarray) off len =
 
 let contents w = Bytes.sub w.buf 0 w.len
 
+(* Serialization sized by [Codec.size] fills its buffer exactly, so the
+   common case hands the backing buffer over without the final copy. *)
+let detach w = if w.len = Bytes.length w.buf then w.buf else contents w
+
 let reader_of_bytes b = { data = b; pos = 0; limit = Bytes.length b }
 
-let reader_of_writer w = reader_of_bytes (contents w)
+(* Zero copy: the reader aliases the writer's backing buffer, bounded by
+   the bytes written so far.  Writes to [w] after this call may be
+   observed by (or invisible to, after a growth reallocation) the
+   reader, so treat the writer as frozen while the reader is live. *)
+let reader_of_writer w = { data = w.buf; pos = 0; limit = w.len }
 
 let remaining r = r.limit - r.pos
 

@@ -40,8 +40,19 @@ val write_floatarray : writer -> floatarray -> int -> int -> unit
 val contents : writer -> Bytes.t
 (** Copy of the bytes written so far. *)
 
+val detach : writer -> Bytes.t
+(** The bytes written so far, handing over the backing buffer without a
+    copy when it is exactly full (the case for exactly-sized writers,
+    e.g. those preallocated from [Codec.size]).  The writer must not be
+    written to afterwards. *)
+
 val reader_of_bytes : Bytes.t -> reader
+
 val reader_of_writer : writer -> reader
+(** Zero-copy reader over the writer's backing buffer, bounded by the
+    bytes written so far.  The writer must be treated as frozen while
+    the reader is in use: further writes may be observed by the reader
+    or lost to it entirely when the buffer grows. *)
 
 val remaining : reader -> int
 (** Bytes left to read. *)

@@ -18,6 +18,14 @@ let with_cluster c f =
   cluster := c;
   Fun.protect ~finally:(fun () -> cluster := old) f
 
-(** Chunk over-decomposition multiplier for local (work-stealing)
-    parallel loops. *)
+(** Chunk over-decomposition multiplier for local loops that are
+    *pre-partitioned* into explicit blocks (order-preserving chunked
+    maps, 2-D block grids). *)
 let chunk_multiplier = ref 4
+
+(** Grain-size override for the adaptive lazy-splitting scheduler.
+    [None] (the default) lets the pool derive a grain from the range
+    length and worker count ({!Triolet_runtime.Partition.grain});
+    [Some g] forces grain [g] — smaller grains rebalance finer-skewed
+    work at more per-grain overhead. *)
+let grain_size : int option ref = ref None

@@ -10,4 +10,9 @@ val with_cluster : Triolet_runtime.Cluster.config -> (unit -> 'a) -> 'a
     one afterwards (exception-safe). *)
 
 val chunk_multiplier : int ref
-(** Over-decomposition multiplier for local work-stealing loops. *)
+(** Over-decomposition multiplier for local loops pre-partitioned into
+    explicit blocks. *)
+
+val grain_size : int option ref
+(** Grain-size override for the adaptive lazy-splitting scheduler;
+    [None] derives the grain from range length and pool width. *)

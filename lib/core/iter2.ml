@@ -132,15 +132,16 @@ let build (t : float t) =
   | Iter.Sequential ->
       fill_block t out ~r0:0 ~nr:t.rows ~c0:0 ~nc:t.cols ~out_r0:0 ~out_c0:0
   | Iter.Local ->
+      (* Row bands are chosen by the adaptive scheduler: it hands out
+         contiguous row ranges and splits them on demand, so rows whose
+         pipelines cost unevenly still balance. *)
       let pool = Triolet_runtime.Pool.default () in
-      let parts =
-        Partition.chunk_count ~workers:(Triolet_runtime.Pool.size pool) t.rows
-      in
-      let bands = Partition.blocks ~parts t.rows in
-      Triolet_runtime.Pool.parallel_for pool ~lo:0 ~hi:(Array.length bands)
-        (fun k ->
-          let r0, nr = bands.(k) in
+      Triolet_runtime.Pool.parallel_range pool ?grain:!Config.grain_size
+        ~lo:0 ~hi:t.rows
+        ~f:(fun r0 nr ->
           fill_block t out ~r0 ~nr ~c0:0 ~nc:t.cols ~out_r0:r0 ~out_c0:0)
+        ~merge:(fun () () -> ())
+        ~init:() ()
   | Iter.Distributed ->
       let cfg = Config.get_cluster () in
       let rp, cp = Partition.square_factors cfg.Cluster.nodes in
@@ -153,17 +154,13 @@ let build (t : float t) =
           ~node_work:(fun ~pool payload ->
             let sub = t.rebuild payload in
             let block = Matrix.create sub.rows sub.cols in
-            let parts =
-              Partition.chunk_count
-                ~workers:(Triolet_runtime.Pool.size pool)
-                sub.rows
-            in
-            let bands = Partition.blocks ~parts sub.rows in
-            Triolet_runtime.Pool.parallel_for pool ~lo:0
-              ~hi:(Array.length bands) (fun k ->
-                let r0, nr = bands.(k) in
+            Triolet_runtime.Pool.parallel_range pool
+              ?grain:!Config.grain_size ~lo:0 ~hi:sub.rows
+              ~f:(fun r0 nr ->
                 fill_block sub block ~r0 ~nr ~c0:0 ~nc:sub.cols ~out_r0:r0
-                  ~out_c0:0);
+                  ~out_c0:0)
+              ~merge:(fun () () -> ())
+              ~init:() ();
             Matrix.data block)
           ~result_codec:Codec.floatarray
       in

@@ -156,15 +156,14 @@ let build (t : float t) =
   (match t.hint with
   | Iter.Sequential -> fill_slab t out ~z0:0 ~n:t.nz ~out_z0:0
   | Iter.Local ->
+      (* z-slab extents come from the adaptive scheduler: contiguous
+         plane ranges, split on demand when some planes cost more. *)
       let pool = Triolet_runtime.Pool.default () in
-      let parts =
-        Partition.chunk_count ~workers:(Triolet_runtime.Pool.size pool) t.nz
-      in
-      let slabs = Partition.blocks ~parts t.nz in
-      Triolet_runtime.Pool.parallel_for pool ~lo:0 ~hi:(Array.length slabs)
-        (fun k ->
-          let z0, n = slabs.(k) in
-          fill_slab t out ~z0 ~n ~out_z0:z0)
+      Triolet_runtime.Pool.parallel_range pool ?grain:!Config.grain_size
+        ~lo:0 ~hi:t.nz
+        ~f:(fun z0 n -> fill_slab t out ~z0 ~n ~out_z0:z0)
+        ~merge:(fun () () -> ())
+        ~init:() ()
   | Iter.Distributed ->
       let slabs = node_slabs t.nz in
       let results =
@@ -173,16 +172,11 @@ let build (t : float t) =
           ~node_work:(fun ~pool payload ->
             let sub = t.rebuild payload in
             let slab = Grid3.create sub.nx sub.ny sub.nz in
-            let parts =
-              Partition.chunk_count
-                ~workers:(Triolet_runtime.Pool.size pool)
-                sub.nz
-            in
-            let bands = Partition.blocks ~parts sub.nz in
-            Triolet_runtime.Pool.parallel_for pool ~lo:0
-              ~hi:(Array.length bands) (fun k ->
-                let z0, n = bands.(k) in
-                fill_slab sub slab ~z0 ~n ~out_z0:z0);
+            Triolet_runtime.Pool.parallel_range pool
+              ?grain:!Config.grain_size ~lo:0 ~hi:sub.nz
+              ~f:(fun z0 n -> fill_slab sub slab ~z0 ~n ~out_z0:z0)
+              ~merge:(fun () () -> ())
+              ~init:() ();
             Grid3.data slab)
           ~result_codec:Codec.floatarray
       in

@@ -103,11 +103,16 @@ let transpose m =
     work per byte to profit from distribution (section 4.3). *)
 let transpose_par pool m =
   let out = create m.cols m.rows in
-  Triolet_runtime.Pool.parallel_for pool ~lo:0 ~hi:m.rows (fun i ->
-      for j = 0 to m.cols - 1 do
-        Float.Array.unsafe_set out.data ((j * m.rows) + i)
-          (Float.Array.unsafe_get m.data ((i * m.cols) + j))
-      done);
+  Triolet_runtime.Pool.parallel_range pool ~lo:0 ~hi:m.rows
+    ~f:(fun r0 nr ->
+      for i = r0 to r0 + nr - 1 do
+        for j = 0 to m.cols - 1 do
+          Float.Array.unsafe_set out.data ((j * m.rows) + i)
+            (Float.Array.unsafe_get m.data ((i * m.cols) + j))
+        done
+      done)
+    ~merge:(fun () () -> ())
+    ~init:() ();
   out
 
 let equal_eps ~eps a b =

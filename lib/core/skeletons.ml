@@ -25,20 +25,15 @@ let seq_pool () =
       seq_pool_ref := Some p;
       p
 
-(** Shared-memory parallel reduction over [len] outer iterations, split
-    into chunks executed by the work-stealing pool.  [chunk off n]
-    computes the partial result for outer range [off, off+n);
-    per-worker partials are merged locally first. *)
+(** Shared-memory parallel reduction over [len] outer iterations on the
+    work-stealing pool's adaptive lazy-splitting scheduler.  [chunk off n]
+    computes the partial result for outer range [off, off+n) — the
+    scheduler chooses the [n]s, splitting ranges on demand so skewed
+    per-iteration cost (filtered or nested loops) rebalances across
+    workers; per-worker partials are merged locally first. *)
 let local_reduce_with pool ~len ~chunk ~merge ~init =
-  if len <= 0 then init
-  else begin
-    let parts =
-      Partition.chunk_count ~multiplier:!Config.chunk_multiplier
-        ~workers:(Pool.size pool) len
-    in
-    let chunks = Partition.blocks ~parts len in
-    Pool.parallel_chunks pool ~chunks ~f:chunk ~merge ~init
-  end
+  Pool.parallel_range pool ?grain:!Config.grain_size ~lo:0 ~hi:len ~f:chunk
+    ~merge ~init ()
 
 let local_reduce ~len ~chunk ~merge ~init =
   local_reduce_with (Pool.default ()) ~len ~chunk ~merge ~init

@@ -13,8 +13,9 @@ val local_reduce_with :
   merge:('r -> 'r -> 'r) ->
   init:'r ->
   'r
-(** Shared-memory parallel reduction over [len] outer iterations:
-    work-stealing chunks, per-worker local merging first. *)
+(** Shared-memory parallel reduction over [len] outer iterations on the
+    adaptive lazy-splitting scheduler (ranges split on demand, grain
+    from [Config.grain_size] or auto); per-worker local merging first. *)
 
 val local_reduce :
   len:int -> chunk:(int -> int -> 'r) -> merge:('r -> 'r -> 'r) -> init:'r -> 'r

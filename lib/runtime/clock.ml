@@ -1,0 +1,10 @@
+(** Clocks for scheduler accounting. *)
+
+external thread_cputime_ns : unit -> int = "triolet_thread_cputime_ns"
+  [@@noalloc]
+(** CPU time consumed by the calling thread, in nanoseconds.  Unlike a
+    wall clock this does not advance while the thread is descheduled,
+    so per-worker busy times computed from it reflect work actually
+    done even when the pool's domains timeshare fewer physical cores —
+    the situation on this repo's 1-core reference host (DESIGN.md,
+    Substitutions). *)

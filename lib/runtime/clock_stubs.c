@@ -1,0 +1,21 @@
+/* Per-thread CPU clock for worker busy-time accounting.
+ *
+ * CLOCK_THREAD_CPUTIME_ID charges a worker only for cycles it actually
+ * executed, so busy times stay meaningful when workers timeshare fewer
+ * physical cores than the pool has domains (each OCaml domain is one
+ * OS thread).  Falls back to the monotonic wall clock where the
+ * per-thread clock is missing. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value triolet_thread_cputime_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+#endif
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

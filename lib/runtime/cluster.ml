@@ -79,6 +79,8 @@ let run ?pool cfg ~scatter ~work ~result_codec ~merge ~init =
      per-call pool would cost a domain spawn per operation, so nodes
      share the default pool, capped at the configured core count. *)
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  Stats.ensure_workers (Pool.size pool);
+  let before_work = Stats.snapshot () in
   for node = 0 to workers - 1 do
     let bytes = Mailbox.recv mailboxes.(node) in
     let payload =
@@ -92,6 +94,17 @@ let run ?pool cfg ~scatter ~work ~result_codec ~merge ~init =
     incr gather_msgs;
     Mailbox.send return_box reply
   done;
+  (* Intra-node scheduling visibility: how evenly the pool's workers
+     shared the nodes' work, and how much adaptive splitting/stealing
+     the lazy scheduler needed to get there. *)
+  Log.debug (fun m ->
+      let after = Stats.snapshot () in
+      let delta =
+        after.Stats.chunks_run - before_work.Stats.chunks_run
+      and splits = after.Stats.splits - before_work.Stats.splits
+      and steals = after.Stats.steals - before_work.Stats.steals in
+      m "intra-node: %d chunks, %d splits, %d steals, imbalance %.2f" delta
+        splits steals (Stats.imbalance after));
   (* Gather: main decodes replies in arrival order and merges. *)
   let acc = ref init in
   for _ = 0 to workers - 1 do

@@ -60,3 +60,18 @@ let square_factors parts =
 let chunk_count ?(multiplier = 4) ~workers n =
   if workers <= 0 then invalid_arg "Partition.chunk_count";
   max 1 (min n (workers * multiplier))
+
+(** Grain size for the adaptive lazy-splitting scheduler: the number of
+    iterations a worker peels off the bottom of its range between
+    deque-empty checks, and the length below which a range is no longer
+    split for thieves.
+
+    The auto policy targets ~32 grains per worker — enough slack for
+    thieves to rebalance heavily skewed iteration costs — but caps the
+    grain at [max_grain] so very long uniform loops still amortize the
+    per-grain bookkeeping (one atomic decrement and one deque probe)
+    without ever becoming unstealable, and floors it at 1 so short loops
+    keep full splitting freedom. *)
+let grain ?(max_grain = 8192) ~workers n =
+  if workers <= 0 then invalid_arg "Partition.grain";
+  if n <= 0 then 1 else max 1 (min max_grain (n / (workers * 32)))

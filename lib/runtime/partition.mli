@@ -26,4 +26,12 @@ val square_factors : int -> int * int
 val chunk_count : ?multiplier:int -> workers:int -> int -> int
 (** Number of chunks to cut a loop of [n] iterations into for a pool of
     [workers]: over-decomposition (default 4x) gives work stealing room
-    to balance irregular iterations. *)
+    to balance irregular iterations.  Used for *pre-partitioned* work
+    (explicit blocks); dynamically scheduled loops use {!grain}. *)
+
+val grain : ?max_grain:int -> workers:int -> int -> int
+(** [grain ~workers n] is the auto grain size for the lazy-splitting
+    scheduler on a loop of [n] iterations: roughly [n / (workers * 32)],
+    clamped to [\[1, max_grain\]] (default 8192).  A worker executes one
+    grain at a time off the bottom of its range and ranges at most one
+    grain long are no longer split. *)

@@ -1,11 +1,29 @@
 (** Work-stealing domain pool: Triolet's intra-node parallel substrate.
 
-    A pool owns [n - 1] helper domains plus the calling domain.  A job
-    preloads per-worker Chase–Lev deques with chunks; each worker drains
-    its own deque and steals from peers until a global remaining-chunk
-    counter hits zero.  This mirrors the paper's two-level architecture,
-    where shared-memory thread parallelism with work stealing runs
-    inside each cluster node (section 3.4). *)
+    A pool owns [n - 1] helper domains plus the calling domain.  This
+    mirrors the paper's two-level architecture, where shared-memory
+    thread parallelism with work stealing runs inside each cluster node
+    (section 3.4).
+
+    Dynamically scheduled loops use *adaptive lazy binary splitting*
+    ({!parallel_range}): each worker owns one contiguous range task
+    [(lo, hi)] on its Chase–Lev deque and executes a small grain off the
+    bottom at a time.  While its deque holds stealable work the worker
+    just runs grains; the moment the deque is empty (either freshly
+    seeded or because a thief took the pending half) and the remaining
+    range is longer than a grain, the worker splits it and pushes the
+    larger half back for thieves.  Splitting therefore happens exactly
+    as often as demand requires: a uniform loop splits O(workers) times,
+    while a loop whose cost concentrates in one region keeps
+    sub-splitting that region until every worker is fed.  This is the
+    lazy-splitting strategy of indexed-stream runtimes, replacing the
+    old static preload of [workers * multiplier] equal chunks that left
+    workers idle when per-element cost was skewed.
+
+    {!parallel_chunks} retains the static-preload path for work that
+    arrives pre-partitioned (sgemm's 2-D blocks, explicit block maps) —
+    and doubles as the baseline the bench harness compares the adaptive
+    scheduler against. *)
 
 let log_src = Logs.Src.create "triolet.pool" ~doc:"Work-stealing pool"
 
@@ -25,6 +43,21 @@ type t = {
 
 let size t = t.n
 
+(* Worker busy times are thread CPU time, not wall time, so they stay
+   meaningful when domains timeshare fewer physical cores. *)
+let now_ns = Clock.thread_cputime_ns
+
+(* Back off after [failures] consecutive fruitless steal sweeps.  Brief
+   spinning catches work the instant it appears; past that, sleeping
+   releases the processor so the workers that do hold work can run —
+   essential when the pool is oversubscribed (more workers than cores),
+   where pure spinning burns whole scheduler quanta stealing nothing.
+   The cap bounds steal latency: a dozing thief is never more than
+   200 µs from noticing freshly split work. *)
+let steal_backoff failures =
+  if failures < 8 then Domain.cpu_relax ()
+  else Unix.sleepf (Float.min 2e-4 (1e-5 *. float_of_int (failures - 7)))
+
 let worker_loop t =
   let gen = ref 0 in
   let continue_ = ref true in
@@ -43,9 +76,9 @@ let worker_loop t =
       Mutex.unlock t.lock;
       (* Worker ids are assigned per-job inside [run_job]; the closure
          dispatches on an atomic ticket so ids never collide.  Job
-         closures are exception-safe (parallel_chunks captures user
-         exceptions itself); the guard here keeps a worker domain alive
-         no matter what, so the rendezvous below always happens. *)
+         closures are exception-safe (the schedulers capture user
+         exceptions themselves); the guard here keeps a worker domain
+         alive no matter what, so the rendezvous below always happens. *)
       (try job (-1) with _ -> ());
       Mutex.lock t.lock;
       t.running <- t.running - 1;
@@ -62,6 +95,7 @@ let create ?workers () =
         w
     | None -> max 1 (Domain.recommended_domain_count ())
   in
+  Stats.ensure_workers n;
   let t =
     {
       n;
@@ -124,16 +158,136 @@ let run_job t job =
     match main_exn with Some e -> raise e | None -> ()
   end
 
-(** Core primitive: execute every (off, len) chunk exactly once across
-    the pool, folding each worker's chunk results locally with [merge]
-    and combining the per-worker partials at the end.  Local
-    accumulation before any cross-worker combining is exactly the
-    result-aggregation strategy described for dot product in section 2. *)
+(* Merge the per-worker partial results (worker order; [merge] must be
+   associative with identity [init], so order is unobservable). *)
+let combine_results ~merge ~init results =
+  Array.fold_left
+    (fun a r ->
+      match (a, r) with
+      | None, x | x, None -> x
+      | Some a, Some b -> Some (merge a b))
+    None results
+  |> function
+  | None -> init
+  | Some v -> merge init v
+
+(** Core adaptive primitive: reduce [f off len] grains over [lo, hi)
+    with lazy binary splitting (see the module header), folding each
+    worker's grain results locally with [merge] and combining the
+    per-worker partials at the end — the result-aggregation strategy
+    described for dot product in section 2. *)
+let parallel_range t ?grain ~lo ~hi ~f ~merge ~init () =
+  let total = hi - lo in
+  if total <= 0 then init
+  else begin
+    let grain =
+      match grain with
+      | Some g -> if g <= 0 then invalid_arg "Pool.parallel_range: grain" else g
+      | None -> Partition.grain ~workers:t.n total
+    in
+    Log.debug (fun m ->
+        m "parallel_range: [%d,%d) grain %d on %d workers" lo hi grain t.n);
+    Stats.ensure_workers t.n;
+    let deques = Array.init t.n (fun _ -> Wsdeque.create ()) in
+    (* Seed one contiguous range per worker; everything further is
+       demand-driven splitting. *)
+    Array.iteri
+      (fun i (off, len) -> Wsdeque.push deques.(i) (lo + off, lo + off + len))
+      (Partition.blocks ~parts:t.n total);
+    let remaining = Atomic.make total in
+    let results = Array.make t.n None in
+    (* First user exception wins; remaining ranges are drained without
+       running user code so every worker's hunt loop terminates. *)
+    let failure = Atomic.make None in
+    let job id =
+      let dq = deques.(id) in
+      let acc = ref None in
+      (* Busy time counts only chunk execution, not steal hunting, so
+         per-worker busy times expose load imbalance: under a perfectly
+         balanced schedule they are equal, and their max approximates
+         the makespan this job would have on dedicated cores. *)
+      let busy = ref 0 in
+      let exec off len =
+        (match Atomic.get failure with
+        | Some _ -> ()
+        | None -> (
+            Stats.record_chunk ~worker:id ();
+            let t0 = now_ns () in
+            (try
+               let v = f off len in
+               acc :=
+                 (match !acc with
+                 | None -> Some v
+                 | Some a -> Some (merge a v))
+             with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+            busy := !busy + (now_ns () - t0)));
+        ignore (Atomic.fetch_and_add remaining (-len))
+      in
+      (* Run a range: peel one grain at a time off the bottom; when the
+         deque has gone empty and more than a grain remains, split and
+         push the larger half for thieves. *)
+      let rec work rlo rhi =
+        if rlo < rhi then begin
+          let len = rhi - rlo in
+          if len > grain && Wsdeque.is_empty dq then begin
+            let mid = rlo + (len / 2) in
+            Wsdeque.push dq (mid, rhi);
+            Stats.record_split ~worker:id ();
+            work rlo mid
+          end
+          else begin
+            let step = min grain len in
+            exec rlo step;
+            work (rlo + step) rhi
+          end
+        end
+      in
+      let rec drain () =
+        match Wsdeque.pop dq with
+        | Some (rlo, rhi) ->
+            work rlo rhi;
+            drain ()
+        | None -> hunt 0
+      and hunt failures =
+        if Atomic.get remaining > 0 then begin
+          let stolen = ref false in
+          for k = 1 to t.n - 1 do
+            if not !stolen then
+              match Wsdeque.steal deques.((id + k) mod t.n) with
+              | Wsdeque.Stolen (rlo, rhi) ->
+                  Stats.record_steal ~worker:id ();
+                  stolen := true;
+                  work rlo rhi
+              | Wsdeque.Empty | Wsdeque.Retry -> ()
+          done;
+          if !stolen then drain ()
+          else begin
+            Stats.record_failed_steal ~worker:id ();
+            steal_backoff failures;
+            hunt (failures + 1)
+          end
+        end
+      in
+      drain ();
+      Stats.record_busy ~worker:id !busy;
+      results.(id) <- !acc
+    in
+    run_job t job;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    combine_results ~merge ~init results
+  end
+
+(** Static-preload primitive: execute every (off, len) chunk exactly
+    once across the pool.  Chunks are never subdivided, so use this for
+    work that is already partitioned along meaningful boundaries (2-D
+    blocks, per-node slabs); dynamically splittable loops should use
+    {!parallel_range}. *)
 let parallel_chunks t ~chunks ~f ~merge ~init =
   let nchunks = Array.length chunks in
   Log.debug (fun m -> m "parallel_chunks: %d chunks on %d workers" nchunks t.n);
   if nchunks = 0 then init
   else begin
+    Stats.ensure_workers t.n;
     let deques = Array.init t.n (fun _ -> Wsdeque.create ()) in
     (* Blocked preload keeps adjacent chunks on the same worker for
        locality; stealing rebalances irregular ones. *)
@@ -142,107 +296,80 @@ let parallel_chunks t ~chunks ~f ~merge ~init =
       chunks;
     let remaining = Atomic.make nchunks in
     let results = Array.make t.n None in
-    (* First user exception wins; remaining chunks are drained without
-       running user code so every worker's hunt loop terminates. *)
     let failure = Atomic.make None in
     let job id =
+      let busy = ref 0 in
       let acc = ref None in
       let execute (off, len) =
         (match Atomic.get failure with
         | Some _ -> ()
         | None -> (
-            Stats.record_chunk ();
-            try
-              let v = f off len in
-              acc :=
-                (match !acc with
-                | None -> Some v
-                | Some a -> Some (merge a v))
-            with e -> ignore (Atomic.compare_and_set failure None (Some e))));
+            Stats.record_chunk ~worker:id ();
+            let t0 = now_ns () in
+            (try
+               let v = f off len in
+               acc :=
+                 (match !acc with
+                 | None -> Some v
+                 | Some a -> Some (merge a v))
+             with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+            busy := !busy + (now_ns () - t0)));
         ignore (Atomic.fetch_and_add remaining (-1))
       in
       let rec drain () =
         match Wsdeque.pop deques.(id) with
         | Some c -> execute c; drain ()
-        | None -> hunt ()
-      and hunt () =
+        | None -> hunt 0
+      and hunt failures =
         if Atomic.get remaining > 0 then begin
           let stolen = ref false in
           for k = 1 to t.n - 1 do
             if not !stolen then
               match Wsdeque.steal deques.((id + k) mod t.n) with
               | Wsdeque.Stolen c ->
-                  Stats.record_steal ();
+                  Stats.record_steal ~worker:id ();
                   stolen := true;
                   execute c
               | Wsdeque.Empty | Wsdeque.Retry -> ()
           done;
           if !stolen then drain ()
           else begin
-            Domain.cpu_relax ();
-            hunt ()
+            Stats.record_failed_steal ~worker:id ();
+            steal_backoff failures;
+            hunt (failures + 1)
           end
         end
       in
       drain ();
+      Stats.record_busy ~worker:id !busy;
       results.(id) <- !acc
     in
     run_job t job;
     (match Atomic.get failure with Some e -> raise e | None -> ());
-    Array.fold_left
-      (fun a r ->
-        match (a, r) with
-        | None, x | x, None -> x
-        | Some a, Some b -> Some (merge a b))
-      None results
-    |> function
-    | None -> init
-    | Some v -> merge init v
+    combine_results ~merge ~init results
   end
 
 (** Parallel loop over [lo, hi) for side effects on disjoint state. *)
-let parallel_for t ?chunks ~lo ~hi f =
-  let n = hi - lo in
-  if n > 0 then begin
-    let parts =
-      match chunks with
-      | Some c -> c
-      | None -> Partition.chunk_count ~workers:t.n n
-    in
-    let chunks =
-      Array.map (fun (o, l) -> (lo + o, l)) (Partition.blocks ~parts n)
-    in
-    parallel_chunks t ~chunks
+let parallel_for t ?grain ~lo ~hi f =
+  if hi > lo then
+    parallel_range t ?grain ~lo ~hi
       ~f:(fun off len ->
         for i = off to off + len - 1 do
           f i
         done)
       ~merge:(fun () () -> ())
-      ~init:()
-  end
+      ~init:() ()
 
 (** Parallel reduction of [f i] over [lo, hi). *)
-let parallel_reduce t ?chunks ~lo ~hi ~f ~merge ~init () =
-  let n = hi - lo in
-  if n <= 0 then init
-  else begin
-    let parts =
-      match chunks with
-      | Some c -> c
-      | None -> Partition.chunk_count ~workers:t.n n
-    in
-    let blocks =
-      Array.map (fun (o, l) -> (lo + o, l)) (Partition.blocks ~parts n)
-    in
-    parallel_chunks t ~chunks:blocks
-      ~f:(fun off len ->
-        let acc = ref (f off) in
-        for i = off + 1 to off + len - 1 do
-          acc := merge !acc (f i)
-        done;
-        !acc)
-      ~merge ~init
-  end
+let parallel_reduce t ?grain ~lo ~hi ~f ~merge ~init () =
+  parallel_range t ?grain ~lo ~hi
+    ~f:(fun off len ->
+      let acc = ref (f off) in
+      for i = off + 1 to off + len - 1 do
+        acc := merge !acc (f i)
+      done;
+      !acc)
+    ~merge ~init ()
 
 (* A lazily created default pool shared by iterator consumers.  Its
    width can be forced before first use (tests use small widths). *)

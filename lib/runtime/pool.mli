@@ -1,11 +1,18 @@
 (** Work-stealing domain pool: Triolet's intra-node parallel substrate
     (paper, section 3.4).
 
-    A pool owns [n - 1] helper domains plus the calling domain.  Jobs
-    preload per-worker Chase–Lev deques with chunks; workers drain their
-    own deque and steal from peers.  Parallel consumers called from
-    *inside* a pool worker run inline (nested data parallelism is
-    flattened). *)
+    A pool owns [n - 1] helper domains plus the calling domain.
+    Dynamically scheduled loops ({!parallel_range}, {!parallel_for},
+    {!parallel_reduce}) use adaptive lazy binary splitting: each worker
+    owns one contiguous range task on its Chase–Lev deque, executes a
+    small grain off the bottom at a time, and splits the remainder —
+    pushing the larger half for thieves — only when its deque runs
+    empty.  Skewed per-element costs rebalance at grain granularity
+    instead of stranding a static chunk on one worker.
+
+    {!parallel_chunks} keeps the static-preload path for explicitly
+    pre-partitioned work.  Parallel consumers called from *inside* a
+    pool worker run inline (nested data parallelism is flattened). *)
 
 type t
 
@@ -18,6 +25,26 @@ val size : t -> int
 val shutdown : t -> unit
 (** Joins the helper domains.  The pool must be idle. *)
 
+val parallel_range :
+  t ->
+  ?grain:int ->
+  lo:int ->
+  hi:int ->
+  f:(int -> int -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  init:'a ->
+  unit ->
+  'a
+(** Adaptive reduction over [lo, hi): [f off len] computes the partial
+    result for one grain-sized sub-range; each worker folds its grains
+    locally with [merge] before the per-worker partials are combined.
+    [merge] must be associative with identity [init]; combination order
+    is unspecified.  [grain] defaults to {!Partition.grain}; ranges no
+    longer than a grain are never split across workers.
+
+    If [f] raises, remaining work is skipped, all workers rendezvous
+    normally, and the first exception is re-raised on the caller. *)
+
 val parallel_chunks :
   t ->
   chunks:(int * int) array ->
@@ -25,20 +52,18 @@ val parallel_chunks :
   merge:('a -> 'a -> 'a) ->
   init:'a ->
   'a
-(** Executes every (offset, length) chunk exactly once across the pool,
-    folding each worker's chunk results locally before combining the
-    per-worker partials.  [merge] must be associative with identity
-    [init]; combination order is unspecified.
+(** Static-preload scheduler: executes every (offset, length) chunk
+    exactly once across the pool, never subdividing a chunk.  For work
+    partitioned along meaningful boundaries (2-D blocks, node slabs);
+    exception behaviour as in {!parallel_range}. *)
 
-    If [f] raises, remaining chunks are skipped, all workers rendezvous
-    normally, and the first exception is re-raised on the caller. *)
-
-val parallel_for : t -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
-(** Parallel loop over [lo, hi) for side effects on disjoint state. *)
+val parallel_for : t -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Parallel loop over [lo, hi) for side effects on disjoint state, with
+    adaptive lazy splitting. *)
 
 val parallel_reduce :
   t ->
-  ?chunks:int ->
+  ?grain:int ->
   lo:int ->
   hi:int ->
   f:(int -> 'a) ->
@@ -46,6 +71,7 @@ val parallel_reduce :
   init:'a ->
   unit ->
   'a
+(** Adaptive reduction of [f i] over [lo, hi). *)
 
 (** {1 Default pool}
 

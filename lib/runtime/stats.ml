@@ -4,30 +4,116 @@
     volume and task behaviour, so the runtime counts everything it does:
     messages and bytes crossing node boundaries, chunks executed, and
     work-stealing activity.  Counters are atomic so pool workers can
-    bump them concurrently. *)
+    bump them concurrently.
+
+    Besides the global aggregates, the scheduler keeps *per-worker*
+    counters (chunks run, range splits, steals, failed steal sweeps,
+    busy time) so load imbalance is directly observable: under static
+    chunking a skewed workload shows one worker with most of the busy
+    time; under adaptive lazy splitting the busy times even out and the
+    split/steal counters show how the rebalancing happened. *)
+
+type worker_snapshot = {
+  w_chunks : int;  (** grain-sized chunks this worker executed *)
+  w_splits : int;  (** range tasks this worker split for thieves *)
+  w_steals : int;  (** range tasks this worker stole from peers *)
+  w_failed_steals : int;  (** full sweeps of peers that found nothing *)
+  w_busy_ns : int;  (** thread CPU time spent executing chunks *)
+}
 
 type snapshot = {
   messages : int;
   bytes_sent : int;
   chunks_run : int;
   steals : int;
+  splits : int;
+  failed_steals : int;
   tasks_spawned : int;
+  per_worker : worker_snapshot array;
 }
 
 let messages = Atomic.make 0
 let bytes_sent = Atomic.make 0
 let chunks_run = Atomic.make 0
 let steals = Atomic.make 0
+let splits = Atomic.make 0
+let failed_steals = Atomic.make 0
 let tasks_spawned = Atomic.make 0
 
+(* Per-worker slots, indexed by pool worker id.  Each worker only ever
+   bumps its own slot, so the fields are plain atomics with no
+   contention; the array grows monotonically under a lock when a wider
+   pool registers. *)
+type worker_counters = {
+  c_chunks : int Atomic.t;
+  c_splits : int Atomic.t;
+  c_steals : int Atomic.t;
+  c_failed_steals : int Atomic.t;
+  c_busy_ns : int Atomic.t;
+}
+
+let fresh_worker () =
+  {
+    c_chunks = Atomic.make 0;
+    c_splits = Atomic.make 0;
+    c_steals = Atomic.make 0;
+    c_failed_steals = Atomic.make 0;
+    c_busy_ns = Atomic.make 0;
+  }
+
+let workers : worker_counters array Atomic.t = Atomic.make [||]
+let workers_lock = Mutex.create ()
+
+let ensure_workers n =
+  if n > Array.length (Atomic.get workers) then begin
+    Mutex.lock workers_lock;
+    let old = Atomic.get workers in
+    if n > Array.length old then
+      Atomic.set workers
+        (Array.init n (fun i ->
+             if i < Array.length old then old.(i) else fresh_worker ()));
+    Mutex.unlock workers_lock
+  end
+
+let worker_slot id =
+  let w = Atomic.get workers in
+  if id >= 0 && id < Array.length w then Some w.(id) else None
+
 let add c n = ignore (Atomic.fetch_and_add c n)
+
+let bump_worker worker field =
+  match worker with
+  | None -> ()
+  | Some id -> (
+      match worker_slot id with
+      | Some slot -> add (field slot) 1
+      | None -> ())
 
 let record_message ~bytes =
   add messages 1;
   add bytes_sent bytes
 
-let record_chunk () = add chunks_run 1
-let record_steal () = add steals 1
+let record_chunk ?worker () =
+  add chunks_run 1;
+  bump_worker worker (fun s -> s.c_chunks)
+
+let record_steal ?worker () =
+  add steals 1;
+  bump_worker worker (fun s -> s.c_steals)
+
+let record_split ?worker () =
+  add splits 1;
+  bump_worker worker (fun s -> s.c_splits)
+
+let record_failed_steal ?worker () =
+  add failed_steals 1;
+  bump_worker worker (fun s -> s.c_failed_steals)
+
+let record_busy ~worker ns =
+  match worker_slot worker with
+  | Some slot -> add slot.c_busy_ns ns
+  | None -> ()
+
 let record_task () = add tasks_spawned 1
 
 let snapshot () =
@@ -36,7 +122,20 @@ let snapshot () =
     bytes_sent = Atomic.get bytes_sent;
     chunks_run = Atomic.get chunks_run;
     steals = Atomic.get steals;
+    splits = Atomic.get splits;
+    failed_steals = Atomic.get failed_steals;
     tasks_spawned = Atomic.get tasks_spawned;
+    per_worker =
+      Array.map
+        (fun c ->
+          {
+            w_chunks = Atomic.get c.c_chunks;
+            w_splits = Atomic.get c.c_splits;
+            w_steals = Atomic.get c.c_steals;
+            w_failed_steals = Atomic.get c.c_failed_steals;
+            w_busy_ns = Atomic.get c.c_busy_ns;
+          })
+        (Atomic.get workers);
   }
 
 let reset () =
@@ -44,9 +143,32 @@ let reset () =
   Atomic.set bytes_sent 0;
   Atomic.set chunks_run 0;
   Atomic.set steals 0;
-  Atomic.set tasks_spawned 0
+  Atomic.set splits 0;
+  Atomic.set failed_steals 0;
+  Atomic.set tasks_spawned 0;
+  Array.iter
+    (fun c ->
+      Atomic.set c.c_chunks 0;
+      Atomic.set c.c_splits 0;
+      Atomic.set c.c_steals 0;
+      Atomic.set c.c_failed_steals 0;
+      Atomic.set c.c_busy_ns 0)
+    (Atomic.get workers)
 
-(** Counter deltas around running [f]. *)
+let worker_sub a b =
+  {
+    w_chunks = a.w_chunks - b.w_chunks;
+    w_splits = a.w_splits - b.w_splits;
+    w_steals = a.w_steals - b.w_steals;
+    w_failed_steals = a.w_failed_steals - b.w_failed_steals;
+    w_busy_ns = a.w_busy_ns - b.w_busy_ns;
+  }
+
+let zero_worker =
+  { w_chunks = 0; w_splits = 0; w_steals = 0; w_failed_steals = 0; w_busy_ns = 0 }
+
+(** Counter deltas around running [f].  Worker slots that appear during
+    [f] (a wider pool registering) delta against zero. *)
 let measure f =
   let before = snapshot () in
   let v = f () in
@@ -57,9 +179,46 @@ let measure f =
       bytes_sent = after.bytes_sent - before.bytes_sent;
       chunks_run = after.chunks_run - before.chunks_run;
       steals = after.steals - before.steals;
+      splits = after.splits - before.splits;
+      failed_steals = after.failed_steals - before.failed_steals;
       tasks_spawned = after.tasks_spawned - before.tasks_spawned;
+      per_worker =
+        Array.mapi
+          (fun i a ->
+            let b =
+              if i < Array.length before.per_worker then before.per_worker.(i)
+              else zero_worker
+            in
+            worker_sub a b)
+          after.per_worker;
     } )
 
+(** Largest per-worker busy time divided by the mean: 1.0 is perfectly
+    balanced; [workers] when one worker did everything.  [nan] when no
+    busy time was recorded. *)
+let imbalance s =
+  let busy = Array.map (fun w -> float_of_int w.w_busy_ns) s.per_worker in
+  let active = Array.to_list busy |> List.filter (fun b -> b > 0.0) in
+  match active with
+  | [] -> Float.nan
+  | _ ->
+      let total = List.fold_left ( +. ) 0.0 active in
+      let mx = List.fold_left Float.max 0.0 active in
+      mx /. (total /. float_of_int (List.length active))
+
+let pp_worker fmt (i, w) =
+  Format.fprintf fmt "w%d: chunks=%d splits=%d steals=%d failed=%d busy=%.3fms"
+    i w.w_chunks w.w_splits w.w_steals w.w_failed_steals
+    (float_of_int w.w_busy_ns /. 1e6)
+
 let pp_snapshot fmt s =
-  Format.fprintf fmt "messages=%d bytes=%d chunks=%d steals=%d tasks=%d"
-    s.messages s.bytes_sent s.chunks_run s.steals s.tasks_spawned
+  Format.fprintf fmt
+    "messages=%d bytes=%d chunks=%d steals=%d splits=%d failed-steals=%d \
+     tasks=%d"
+    s.messages s.bytes_sent s.chunks_run s.steals s.splits s.failed_steals
+    s.tasks_spawned;
+  Array.iteri
+    (fun i w ->
+      if w.w_chunks > 0 || w.w_busy_ns > 0 then
+        Format.fprintf fmt "@\n  %a" pp_worker (i, w))
+    s.per_worker

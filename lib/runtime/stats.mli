@@ -1,18 +1,43 @@
 (** Global runtime counters: messages and bytes crossing node
     boundaries, chunks executed, work-stealing activity.  Atomic, so
-    pool workers may bump them concurrently. *)
+    pool workers may bump them concurrently.
+
+    Per-worker counters (indexed by pool worker id) make scheduler load
+    imbalance observable: chunks executed, range splits, steals, failed
+    steal sweeps, and busy time per worker. *)
+
+type worker_snapshot = {
+  w_chunks : int;  (** grain-sized chunks this worker executed *)
+  w_splits : int;  (** range tasks this worker split for thieves *)
+  w_steals : int;  (** range tasks this worker stole from peers *)
+  w_failed_steals : int;  (** full sweeps of peers that found nothing *)
+  w_busy_ns : int;  (** thread CPU time spent executing chunks *)
+}
 
 type snapshot = {
   messages : int;
   bytes_sent : int;
   chunks_run : int;
   steals : int;
+  splits : int;
+  failed_steals : int;
   tasks_spawned : int;
+  per_worker : worker_snapshot array;
 }
 
+val ensure_workers : int -> unit
+(** Registers [n] worker slots (grows, never shrinks).  Pools call this
+    on creation so per-worker counters cover every worker id. *)
+
 val record_message : bytes:int -> unit
-val record_chunk : unit -> unit
-val record_steal : unit -> unit
+val record_chunk : ?worker:int -> unit -> unit
+val record_steal : ?worker:int -> unit -> unit
+val record_split : ?worker:int -> unit -> unit
+val record_failed_steal : ?worker:int -> unit -> unit
+
+val record_busy : worker:int -> int -> unit
+(** [record_busy ~worker ns] adds [ns] nanoseconds of busy time. *)
+
 val record_task : unit -> unit
 
 val snapshot : unit -> snapshot
@@ -20,6 +45,11 @@ val reset : unit -> unit
 
 val measure : (unit -> 'a) -> 'a * snapshot
 (** [measure f] runs [f] and returns its result with the counter deltas
-    incurred during the call. *)
+    incurred during the call, including per-worker deltas. *)
+
+val imbalance : snapshot -> float
+(** Max per-worker busy time over the mean (workers with zero busy time
+    excluded): 1.0 is perfectly balanced, the active worker count means
+    one worker did everything; [nan] if nothing was recorded. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

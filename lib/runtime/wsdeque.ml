@@ -7,7 +7,14 @@
 
     OCaml's [Atomic] operations are sequentially consistent, which is
     stronger than the fences the algorithm needs, so the implementation
-    is a direct transcription. *)
+    is a direct transcription.
+
+    The adaptive scheduler stores *range tasks* [(lo, hi)] here: an
+    owner keeps at most one pending range (the unstarted larger half of
+    its current range) on the deque, so a thief always steals the
+    biggest contiguous piece of unstarted work, and the owner probes
+    {!size}/{!is_empty} between grains to decide whether to split
+    again. *)
 
 type 'a t = {
   top : int Atomic.t;
@@ -31,6 +38,8 @@ let create ?(capacity = 16) () =
   }
 
 let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let is_empty q = size q = 0
 
 let grow q b t =
   let old = q.buf and old_mask = q.mask in

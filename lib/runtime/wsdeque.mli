@@ -1,7 +1,9 @@
 (** Chase–Lev work-stealing deque (SPAA 2005).
 
     One owner pushes and pops at the bottom; any number of thieves steal
-    from the top. *)
+    from the top.  The adaptive scheduler stores range tasks [(lo, hi)]
+    here; thieves steal whole unstarted ranges, which the new owner
+    lazily re-splits. *)
 
 type 'a t
 
@@ -14,6 +16,11 @@ val create : ?capacity:int -> unit -> 'a t
 
 val size : 'a t -> int
 (** Approximate under concurrency. *)
+
+val is_empty : 'a t -> bool
+(** [size q = 0]; approximate under concurrency.  The owner's
+    split-on-demand probe: exact for the owner when no thief
+    intervenes, and a stale [false] merely delays one split. *)
 
 val push : 'a t -> 'a -> unit
 (** Owner only. *)

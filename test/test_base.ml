@@ -82,6 +82,33 @@ let test_rw_remaining () =
   ignore (Rw.read_int r);
   check_int "after" 0 (Rw.remaining r)
 
+let test_rw_reader_of_writer_bounded () =
+  (* The zero-copy reader is bounded by the bytes *written*, not by the
+     (larger) backing-buffer capacity. *)
+  let w = Rw.create_writer ~capacity:1024 () in
+  Rw.write_int w 7;
+  let r = Rw.reader_of_writer w in
+  check_int "limit is written length" 8 (Rw.remaining r);
+  check_int "value" 7 (Rw.read_int r);
+  Alcotest.check_raises "no read past written bytes" Rw.Underflow (fun () ->
+      ignore (Rw.read_u8 r))
+
+let test_rw_detach () =
+  (* Exactly-full writer: detach hands the buffer over as-is. *)
+  let w = Rw.create_writer ~capacity:16 () in
+  Rw.write_int w 1;
+  Rw.write_int w 2;
+  let b = Rw.detach w in
+  check_int "exact length" 16 (Bytes.length b);
+  check_int "first" 1 (Int64.to_int (Bytes.get_int64_le b 0));
+  check_int "second" 2 (Int64.to_int (Bytes.get_int64_le b 8));
+  (* Partially-full writer: detach falls back to a trimmed copy. *)
+  let w2 = Rw.create_writer ~capacity:64 () in
+  Rw.write_u8 w2 9;
+  let b2 = Rw.detach w2 in
+  check_int "trimmed" 1 (Bytes.length b2);
+  check_int "content" 9 (Char.code (Bytes.get b2 0))
+
 (* ------------------------------------------------------------------ *)
 (* Codec                                                               *)
 
@@ -326,6 +353,9 @@ let () =
           Alcotest.test_case "underflow" `Quick test_rw_underflow;
           Alcotest.test_case "floatarray block" `Quick test_rw_floatarray_block;
           Alcotest.test_case "remaining" `Quick test_rw_remaining;
+          Alcotest.test_case "zero-copy reader bounded" `Quick
+            test_rw_reader_of_writer_bounded;
+          Alcotest.test_case "detach" `Quick test_rw_detach;
         ] );
       ( "codec",
         [

@@ -234,7 +234,7 @@ let test_pool_irregular_work () =
   with_pool 4 (fun p ->
       let n = 200 in
       let result =
-        Pool.parallel_reduce p ~chunks:32 ~lo:0 ~hi:n
+        Pool.parallel_reduce p ~grain:4 ~lo:0 ~hi:n
           ~f:(fun i ->
             (* skewed work: later indices spin longer *)
             let acc = ref 0 in
@@ -246,6 +246,186 @@ let test_pool_irregular_work () =
           ~merge:( + ) ~init:0 ()
       in
       check_int "sum" (n * (n - 1) / 2) result)
+
+(* ---- Adaptive lazy-splitting scheduler ---- *)
+
+(* Adversarially skewed per-element costs; each returns the spin count
+   for index [i] so the workload is deterministic. *)
+let skew_shapes =
+  [
+    ("hot-head", fun i -> if i < 8 then 4000 else 1);
+    ("hot-tail", fun i -> if i >= 992 then 4000 else 1);
+    ("single-spike", fun i -> if i = 313 then 200_000 else 1);
+    ("zipf-ish", fun i -> 20_000 / (i + 1));
+    ("sawtooth", fun i -> if i mod 97 = 0 then 3000 else 2);
+  ]
+
+let spin k =
+  let acc = ref 0 in
+  for _ = 1 to k do
+    incr acc
+  done;
+  !acc
+
+let test_pool_skewed_matches_sequential () =
+  (* The scheduler must compute exactly the sequential fold no matter
+     how skewed the per-element cost is, at every pool width. *)
+  let n = 1000 in
+  List.iter
+    (fun (name, cost) ->
+      let f i =
+        ignore (spin (cost i));
+        (2 * i) + 1
+      in
+      let expected = ref 0 in
+      for i = 0 to n - 1 do
+        expected := !expected + f i
+      done;
+      List.iter
+        (fun width ->
+          with_pool width (fun p ->
+              let got =
+                Pool.parallel_reduce p ~grain:1 ~lo:0 ~hi:n ~f ~merge:( + )
+                  ~init:0 ()
+              in
+              check_int (Printf.sprintf "%s @ width %d" name width) !expected
+                got))
+        [ 1; 2; 4 ])
+    skew_shapes
+
+let test_pool_parallel_range_covers () =
+  (* Every index of the range reaches [f] exactly once, via grains that
+     tile the range. *)
+  with_pool 4 (fun p ->
+      let n = 4097 in
+      let hits = Array.make n (-1) in
+      let lock = Mutex.create () in
+      let spans =
+        Pool.parallel_range p ~grain:16 ~lo:100 ~hi:(100 + n)
+          ~f:(fun off len ->
+            Mutex.lock lock;
+            for i = off to off + len - 1 do
+              hits.(i - 100) <- hits.(i - 100) + 1
+            done;
+            Mutex.unlock lock;
+            [ (off, len) ])
+          ~merge:( @ ) ~init:[] ()
+      in
+      Array.iteri (fun i h -> check_int (string_of_int i) 0 h) hits;
+      check_int "span lengths tile the range" n
+        (List.fold_left (fun a (_, l) -> a + l) 0 spans);
+      List.iter
+        (fun (off, len) ->
+          Alcotest.(check bool) "span inside range" true
+            (off >= 100 && len > 0 && off + len <= 100 + n))
+        spans)
+
+let test_pool_range_exception () =
+  (* A user exception mid-range is re-raised on the caller and leaves
+     the pool reusable. *)
+  with_pool 4 (fun p ->
+      Alcotest.check_raises "re-raised" (Failure "boom") (fun () ->
+          ignore
+            (Pool.parallel_reduce p ~grain:1 ~lo:0 ~hi:1000
+               ~f:(fun i -> if i = 500 then failwith "boom" else i)
+               ~merge:( + ) ~init:0 ()));
+      check_int "pool still works" 4950
+        (Pool.parallel_reduce p ~lo:0 ~hi:100 ~f:Fun.id ~merge:( + ) ~init:0 ()))
+
+let test_pool_per_worker_stats () =
+  (* Per-worker counters reconcile with the global aggregates, and an
+     adversarial workload at width 4 shows adaptive activity: ranges
+     were split, and every chunk is accounted to some worker. *)
+  with_pool 4 (fun p ->
+      let n = 2000 in
+      let (), delta =
+        Stats.measure (fun () ->
+            ignore
+              (Pool.parallel_reduce p ~grain:1 ~lo:0 ~hi:n
+                 ~f:(fun i -> spin (if i < 16 then 50_000 else 1))
+                 ~merge:( + ) ~init:0 ()))
+      in
+      Alcotest.(check bool) "at least 4 worker slots" true
+        (Array.length delta.Stats.per_worker >= 4);
+      let sum field =
+        Array.fold_left (fun a w -> a + field w) 0 delta.Stats.per_worker
+      in
+      check_int "worker chunks sum to global"
+        delta.Stats.chunks_run
+        (sum (fun w -> w.Stats.w_chunks));
+      check_int "worker steals sum to global" delta.Stats.steals
+        (sum (fun w -> w.Stats.w_steals));
+      check_int "worker splits sum to global" delta.Stats.splits
+        (sum (fun w -> w.Stats.w_splits));
+      Alcotest.(check bool) "ranges were split" true (delta.Stats.splits > 0);
+      Alcotest.(check bool) "all iterations ran" true
+        (delta.Stats.chunks_run >= 1))
+
+let test_pool_grain_policy () =
+  check_int "floors at 1" 1 (Partition.grain ~workers:8 10);
+  check_int "scales with n" 10 (Partition.grain ~workers:4 1280);
+  check_int "caps at max_grain" 8192 (Partition.grain ~workers:1 10_000_000);
+  check_int "custom cap" 64 (Partition.grain ~max_grain:64 ~workers:1 1_000_000);
+  check_int "empty range" 1 (Partition.grain ~workers:4 0);
+  Alcotest.check_raises "bad workers" (Invalid_argument "Partition.grain")
+    (fun () -> ignore (Partition.grain ~workers:0 10))
+
+let test_deque_range_task_stress () =
+  (* Concurrent owner + thieves moving range tasks: no range is lost or
+     duplicated, and the delivered ranges tile [0, n) exactly.  The
+     owner splits ranges like the scheduler does; thieves steal whole
+     ranges. *)
+  let n = 1 lsl 16 in
+  let q = Wsdeque.create () in
+  Wsdeque.push q (0, n);
+  let nthieves = 3 in
+  let stolen = Array.make nthieves [] in
+  let stop = Atomic.make false in
+  let thieves =
+    Array.init nthieves (fun k ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Wsdeque.steal q with
+              | Wsdeque.Stolen r ->
+                  stolen.(k) <- r :: stolen.(k);
+                  loop ()
+              | Wsdeque.Retry -> loop ()
+              | Wsdeque.Empty -> if not (Atomic.get stop) then loop ()
+            in
+            loop ()))
+  in
+  let kept = ref [] in
+  let rec drain () =
+    match Wsdeque.pop q with
+    | Some (lo, hi) ->
+        let len = hi - lo in
+        if len > 4 then begin
+          (* split like the scheduler: keep the smaller half, publish
+             the larger half for thieves *)
+          let mid = lo + (len / 2) in
+          Wsdeque.push q (mid, hi);
+          kept := (lo, mid) :: !kept
+        end
+        else kept := (lo, hi) :: !kept;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  let all =
+    Array.fold_left (fun acc l -> l @ acc) !kept stolen
+    |> List.sort compare
+  in
+  (* Thieves keep whole stolen ranges (no re-splitting), so delivered
+     ranges must be disjoint and tile [0, n). *)
+  let covered = List.fold_left (fun a (lo, hi) -> a + (hi - lo)) 0 all in
+  check_int "total length tiles [0,n)" n covered;
+  let rec contiguous pos = function
+    | [] -> pos = n
+    | (lo, hi) :: rest -> lo = pos && hi > lo && contiguous hi rest
+  in
+  Alcotest.(check bool) "disjoint and gap-free" true (contiguous 0 all)
 
 let test_pool_reuse_across_jobs () =
   with_pool 3 (fun p ->
@@ -441,6 +621,8 @@ let () =
           Alcotest.test_case "interleaved" `Quick test_deque_interleaved;
           Alcotest.test_case "concurrent exactly-once" `Quick
             test_deque_concurrent_consistency;
+          Alcotest.test_case "range-task stress" `Quick
+            test_deque_range_task_stress;
         ] );
       ( "pool",
         [
@@ -456,6 +638,14 @@ let () =
             test_pool_reuse_across_jobs;
           Alcotest.test_case "list-valued merge" `Quick
             test_pool_nonuniform_merge_type;
+          Alcotest.test_case "skewed matches sequential" `Quick
+            test_pool_skewed_matches_sequential;
+          Alcotest.test_case "parallel_range covers" `Quick
+            test_pool_parallel_range_covers;
+          Alcotest.test_case "range exception" `Quick test_pool_range_exception;
+          Alcotest.test_case "per-worker stats" `Quick
+            test_pool_per_worker_stats;
+          Alcotest.test_case "grain policy" `Quick test_pool_grain_policy;
         ] );
       ( "mailbox",
         [
