@@ -8,6 +8,7 @@ open Cmdliner
 module Figures = Triolet_harness.Figures
 module Stats = Triolet_runtime.Stats
 module Cluster = Triolet_runtime.Cluster
+module Fault = Triolet_runtime.Fault
 
 let verbose_arg =
   let doc = "Enable debug logging of the runtime (chunks, messages)." in
@@ -199,11 +200,153 @@ let verify_cmd =
        ~doc:"Check that the C, Triolet and Eden styles of all four kernels agree")
     Term.(const run $ const ())
 
+(* ---- Fault injection ---- *)
+
+let fault_rate_arg =
+  let doc =
+    "Per-link fault rate used by fault injection: each of drop, \
+     duplicate, corrupt and delay fires with this probability per \
+     message."
+  in
+  Arg.(value & opt float 0.1 & info [ "fault-rate" ] ~docv:"P" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the deterministic fault injector." in
+  Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let faults_flag =
+  let doc =
+    "Inject seeded faults (message drop/duplicate/corrupt/delay plus a \
+     node crash) into the distributed runtime, and recover from them."
+  in
+  Arg.(value & flag & info [ "faults" ] ~doc)
+
+let noisy_spec ~seed ~rate ?crash ?(stragglers = []) () =
+  Fault.spec ~seed ~drop:rate ~duplicate:rate ~corrupt:rate ~delay:rate
+    ?crash ~stragglers ()
+
+(* Fault-matrix mode: run every kernel under a set of failure
+   scenarios and check each result against the fault-free reference. *)
+let faults_cmd =
+  let run nodes cores rate seed verbose =
+    setup_logs verbose;
+    Triolet.Config.set_cluster
+      { Cluster.nodes; cores_per_node = cores; flat = false };
+    let module D = Triolet_kernels.Dataset in
+    let module Table = Triolet_harness.Table in
+    let crash_node = min 1 (nodes - 1) in
+    let scenarios =
+      [
+        ("drop+corrupt", Fault.spec ~seed ~drop:rate ~corrupt:rate ());
+        ("dup+delay", Fault.spec ~seed ~duplicate:rate ~delay:rate ());
+        ( "crash-before",
+          Fault.spec ~seed ~crash:(crash_node, Fault.Before_work) () );
+        ( "crash-during",
+          Fault.spec ~seed ~crash:(crash_node, Fault.During_work) () );
+        ( "everything",
+          noisy_spec ~seed ~rate
+            ~crash:(crash_node, Fault.After_work)
+            ~stragglers:[ 0 ] () );
+      ]
+    in
+    let kernels =
+      [
+        ( "mri-q",
+          let d = D.mriq ~seed:11 ~samples:64 ~voxels:192 in
+          let reference = Triolet_kernels.Mriq.run_triolet d in
+          fun () ->
+            Triolet_kernels.Mriq.agrees ~eps:0.0 reference
+              (Triolet_kernels.Mriq.run_triolet d) );
+        ( "sgemm",
+          let a, b = D.sgemm_matrices ~seed:21 ~m:24 ~k:18 ~n:20 in
+          let reference = Triolet_kernels.Sgemm.run_triolet a b in
+          fun () ->
+            Triolet_kernels.Sgemm.agrees ~eps:0.0 reference
+              (Triolet_kernels.Sgemm.run_triolet a b) );
+        ( "tpacf",
+          let d = D.tpacf ~seed:31 ~points:48 ~random_sets:4 in
+          let reference = Triolet_kernels.Tpacf.run_triolet ~bins:16 d in
+          fun () ->
+            Triolet_kernels.Tpacf.agrees reference
+              (Triolet_kernels.Tpacf.run_triolet ~bins:16 d) );
+        (* cutcp merges float histograms in pool completion order, so
+           even fault-free runs differ in the last ulp: use the
+           kernel's standard tolerance instead of exact equality. *)
+        ( "cutcp",
+          let d =
+            D.cutcp ~seed:41 ~atoms:48 ~nx:10 ~ny:10 ~nz:10 ~spacing:0.5
+              ~cutoff:1.5
+          in
+          let reference = Triolet_kernels.Cutcp.run_triolet d in
+          fun () ->
+            Triolet_kernels.Cutcp.agrees ~eps:1e-9 reference
+              (Triolet_kernels.Cutcp.run_triolet d) );
+      ]
+    in
+    let rows = ref [] in
+    let all_ok = ref true in
+    List.iter
+      (fun (kname, check) ->
+        List.iter
+          (fun (sname, spec) ->
+            let ok, delta =
+              Stats.measure (fun () ->
+                  Triolet.Config.with_faults spec check)
+            in
+            if not ok then all_ok := false;
+            rows :=
+              [
+                kname; sname;
+                (if ok then "ok" else "WRONG RESULT");
+                string_of_int delta.Stats.faults_injected;
+                string_of_int delta.Stats.retries;
+                string_of_int delta.Stats.redeliveries;
+                string_of_int delta.Stats.corrupt_drops;
+                string_of_int delta.Stats.crashed_nodes;
+              ]
+              :: !rows)
+          scenarios)
+      kernels;
+    Printf.printf
+      "fault matrix: %d nodes x %d cores, rate %.3f, seed %d\n" nodes cores
+      rate seed;
+    Table.print
+      ([ "kernel"; "scenario"; "result"; "faults"; "retries"; "redeliv";
+         "corrupt"; "crashes" ]
+      :: List.rev !rows);
+    if !all_ok then begin
+      print_endline "all kernels correct under every fault scenario";
+      0
+    end
+    else begin
+      print_endline "FAILURE: some kernel produced a wrong result";
+      1
+    end
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster nodes.") in
+  let cores =
+    Arg.(value & opt int 2 & info [ "cores" ] ~doc:"Cores per node.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run every kernel under a matrix of injected failures (drops, \
+          duplicates, corruption, delays, node crashes, stragglers) and \
+          verify the results still match the fault-free runs")
+    Term.(const run $ nodes $ cores $ fault_rate_arg $ fault_seed_arg
+          $ verbose_arg)
+
 (* Distributed-runtime demo with byte accounting. *)
 let demo_cmd =
-  let run nodes cores flat verbose =
+  let run nodes cores flat faults fault_rate fault_seed verbose =
     setup_logs verbose;
     Triolet.Config.set_cluster { Cluster.nodes; cores_per_node = cores; flat };
+    if faults then
+      Triolet.Config.set_faults
+        (Some
+           (noisy_spec ~seed:fault_seed ~rate:fault_rate
+              ~crash:(min 1 (nodes - 1), Fault.During_work)
+              ()));
     let n = 1_000_000 in
     let xs = Float.Array.init n (fun i -> float_of_int (i mod 1000) /. 1000.0) in
     let ys = Float.Array.init n (fun i -> float_of_int ((i + 17) mod 1000) /. 1000.0) in
@@ -226,6 +369,14 @@ let demo_cmd =
       delta.Stats.messages
       (Triolet_harness.Table.bytes delta.Stats.bytes_sent)
       delta.Stats.chunks_run delta.Stats.steals;
+    if faults then
+      Printf.printf
+        "faults injected: %d   retries: %d   redeliveries: %d   corrupt \
+         drops: %d   crashed nodes: %d\n"
+        delta.Stats.faults_injected delta.Stats.retries
+        delta.Stats.redeliveries delta.Stats.corrupt_drops
+        delta.Stats.crashed_nodes;
+    Triolet.Config.set_faults None;
     0
   in
   let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster nodes.") in
@@ -238,7 +389,8 @@ let demo_cmd =
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Distributed dot product on the in-process cluster, with byte accounting")
-    Term.(const run $ nodes $ cores $ flat $ verbose_arg)
+    Term.(const run $ nodes $ cores $ flat $ faults_flag $ fault_rate_arg
+          $ fault_seed_arg $ verbose_arg)
 
 let () =
   let info =
@@ -250,5 +402,5 @@ let () =
        (Cmd.group info
           [
             fig_cmd; summary_cmd; ablation_cmd; all_cmd; verify_cmd; demo_cmd;
-            sim_cmd;
+            sim_cmd; faults_cmd;
           ]))

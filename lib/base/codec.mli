@@ -49,13 +49,30 @@ val map : inj:('a -> 'b) -> proj:('b -> 'a) -> 'a t -> 'b t
 
 (** {1 Whole-value helpers} *)
 
+exception Trailing_bytes of int
+(** Raised by {!of_bytes} (and the {!checksummed} envelope) when a
+    decode leaves the given number of bytes unconsumed: the buffer was
+    not produced by this codec. *)
+
 val to_bytes : 'a t -> 'a -> Bytes.t
+
 val of_bytes : 'a t -> Bytes.t -> 'a
+(** Decodes the whole buffer; raises {!Trailing_bytes} if the codec
+    stops short of the end instead of silently ignoring the excess. *)
 
 val roundtrip : 'a t -> 'a -> 'a
 (** [roundtrip c v] encodes then decodes [v], producing a structurally
     fresh value; used by tests and to force genuine copies across node
     boundaries. *)
+
+exception Checksum_mismatch of { expected : int32; got : int32 }
+
+val checksummed : 'a t -> 'a t
+(** Integrity envelope: payload length plus a CRC-32 over the encoded
+    payload, verified on decode *before* the inner decoder runs.
+    Corrupted bytes raise {!Checksum_mismatch} (or {!Trailing_bytes} /
+    [Rw.Underflow] for damaged framing) instead of decoding garbage;
+    the fault-tolerant cluster path wraps every message in this. *)
 
 exception Version_mismatch of { expected : int; got : int }
 

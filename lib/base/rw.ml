@@ -71,6 +71,48 @@ let write_floatarray w (a : floatarray) off len =
   done;
   w.len <- w.len + (8 * len)
 
+let write_u32 w v =
+  ensure w 4;
+  Bytes.set_int32_le w.buf w.len v;
+  w.len <- w.len + 4
+
+(* Back-patch a 32-bit slot reserved earlier (e.g. a checksum computed
+   only after the payload it covers has been written). *)
+let patch_u32 w ~pos v =
+  if pos < 0 || pos + 4 > w.len then invalid_arg "Rw.patch_u32";
+  Bytes.set_int32_le w.buf pos v
+
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum of
+   zlib and Ethernet frames.  Table-driven, one table for the library. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Rw.crc32";
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get b i)))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32_range w ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > w.len then invalid_arg "Rw.crc32_range";
+  crc32 w.buf pos len
+
 let contents w = Bytes.sub w.buf 0 w.len
 
 (* Serialization sized by [Codec.size] fills its buffer exactly, so the
@@ -87,12 +129,26 @@ let reader_of_writer w = { data = w.buf; pos = 0; limit = w.len }
 
 let remaining r = r.limit - r.pos
 
+let reader_pos r = r.pos
+
 let check r n = if r.pos + n > r.limit then raise Underflow
+
+(* Checksum of the next [len] unread bytes, without advancing. *)
+let crc32_next r len =
+  if len < 0 then raise Underflow;
+  check r len;
+  crc32 r.data r.pos len
 
 let read_u8 r =
   check r 1;
   let v = Char.code (Bytes.unsafe_get r.data r.pos) in
   r.pos <- r.pos + 1;
+  v
+
+let read_u32 r =
+  check r 4;
+  let v = Bytes.get_int32_le r.data r.pos in
+  r.pos <- r.pos + 4;
   v
 
 let read_i64 r =

@@ -25,6 +25,13 @@ val write_i64 : writer -> int64 -> unit
 val write_int : writer -> int -> unit
 val write_f64 : writer -> float -> unit
 
+val write_u32 : writer -> int32 -> unit
+(** Little-endian 32-bit word (checksum slots). *)
+
+val patch_u32 : writer -> pos:int -> int32 -> unit
+(** Overwrites the 4 bytes at [pos] (already written) with a 32-bit
+    word — back-fills a checksum slot reserved before its payload. *)
+
 val write_bytes : writer -> Bytes.t -> int -> int -> unit
 (** [write_bytes w b off len] appends [len] raw bytes of [b] from
     [off]. *)
@@ -57,7 +64,27 @@ val reader_of_writer : writer -> reader
 val remaining : reader -> int
 (** Bytes left to read. *)
 
+val reader_pos : reader -> int
+(** Bytes consumed so far. *)
+
+(** {1 Integrity}
+
+    CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges; the
+    checksummed codec envelope uses these to detect corrupted
+    messages. *)
+
+val crc32 : Bytes.t -> int -> int -> int32
+(** [crc32 b off len] checksums [len] bytes of [b] from [off]. *)
+
+val crc32_range : writer -> pos:int -> len:int -> int32
+(** Checksum over a range already written to the writer. *)
+
+val crc32_next : reader -> int -> int32
+(** Checksum of the next [n] unread bytes without advancing the cursor;
+    raises {!Underflow} if fewer than [n] remain. *)
+
 val read_u8 : reader -> int
+val read_u32 : reader -> int32
 val read_i64 : reader -> int64
 val read_int : reader -> int
 val read_f64 : reader -> float

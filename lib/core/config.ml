@@ -18,6 +18,24 @@ let with_cluster c f =
   cluster := c;
   Fun.protect ~finally:(fun () -> cluster := old) f
 
+(** Ambient fault-injection plan for distributed skeletons.  [None]
+    (the default) runs the original fault-free protocol; [Some spec]
+    makes every [Cluster.run] issued by a skeleton consumer inject the
+    plan's deterministic failures and recover from them — the CLI's
+    [--faults] mode and the fault-matrix tests set this. *)
+let faults : Triolet_runtime.Fault.spec option ref = ref None
+
+let set_faults s = faults := s
+
+let get_faults () = !faults
+
+(** Run [f] under fault plan [s], restoring the previous plan
+    afterwards (exception-safe). *)
+let with_faults s f =
+  let old = !faults in
+  faults := Some s;
+  Fun.protect ~finally:(fun () -> faults := old) f
+
 (** Chunk over-decomposition multiplier for local loops that are
     *pre-partitioned* into explicit blocks (order-preserving chunked
     maps, 2-D block grids). *)

@@ -9,6 +9,18 @@ val with_cluster : Triolet_runtime.Cluster.config -> (unit -> 'a) -> 'a
 (** Runs the thunk under the given configuration, restoring the previous
     one afterwards (exception-safe). *)
 
+val faults : Triolet_runtime.Fault.spec option ref
+(** Ambient fault-injection plan: when set, distributed skeletons pass
+    it to [Cluster.run], so kernels execute under deterministic
+    injected failures with recovery. *)
+
+val set_faults : Triolet_runtime.Fault.spec option -> unit
+val get_faults : unit -> Triolet_runtime.Fault.spec option
+
+val with_faults : Triolet_runtime.Fault.spec -> (unit -> 'a) -> 'a
+(** Runs the thunk under the given fault plan, restoring the previous
+    one afterwards (exception-safe). *)
+
 val chunk_multiplier : int ref
 (** Over-decomposition multiplier for local loops pre-partitioned into
     explicit blocks. *)

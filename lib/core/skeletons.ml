@@ -76,7 +76,7 @@ let distributed_reduce ~len ~payload_of ~node_work ~result_codec ~merge ~init
   let nblocks = Array.length blocks in
   let pool = if cfg.Cluster.flat then seq_pool () else Pool.default () in
   let result, _report =
-    Cluster.run ~pool cfg
+    Cluster.run ~pool ?faults:(Config.get_faults ()) cfg
       ~scatter:(fun node ->
         if node < nblocks then
           let off, n = blocks.(node) in
@@ -99,7 +99,7 @@ let distributed_map_blocks ~blocks ~payload_of ~node_work ~result_codec =
   let pool = if cfg.Cluster.flat then seq_pool () else Pool.default () in
   let results = ref [] in
   let (), _report =
-    Cluster.run ~pool
+    Cluster.run ~pool ?faults:(Config.get_faults ())
       { cfg with Cluster.nodes = nblocks; flat = false }
       ~scatter:(fun node -> payload_of blocks.(node))
       ~work:(fun ~node ~pool payload -> (node, node_work ~pool payload))

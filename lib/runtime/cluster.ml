@@ -12,11 +12,37 @@
 
     Task *code* travels as an OCaml closure (we cannot serialize code
     without compiler support, which is precisely what the Triolet
-    compiler adds); task *data* always travels as bytes. *)
+    compiler adds); task *data* always travels as bytes.
+
+    {2 Fault tolerance}
+
+    The paper's MPI runtime assumes every rank answers; [run] does not
+    have to.  With a {!Fault.spec} (deterministic, seeded injection of
+    drops / duplicates / corruption / delays / crashes / stragglers),
+    every message travels in a CRC-checksummed envelope tagged with the
+    logical worker id and an attempt sequence number.  Recovery:
+
+    - receives use {!Mailbox.recv_timeout} with capped exponential
+      backoff instead of blocking forever;
+    - a missing or corrupt reply re-issues the worker's task — to the
+      same node, or re-scattered to a surviving node if the owner
+      crashed;
+    - replies are merged at most once per worker (late or duplicated
+      replies are counted as redeliveries and discarded), so retries
+      never double-count;
+    - corrupted messages fail the checksum and are dropped loudly,
+      triggering the retry path instead of decoding garbage.
+
+    [work] may therefore execute more than once for the same slice and
+    must be re-executable (pure in its payload), which every skeleton
+    body is.  Without [?faults] the wire format, byte accounting and
+    behaviour are exactly the fault-free originals. *)
 
 let log_src = Logs.Src.create "triolet.cluster" ~doc:"Cluster runtime"
 
 module Log = (val Logs.src_log log_src)
+module Codec = Triolet_base.Codec
+module Payload = Triolet_base.Payload
 
 type config = {
   nodes : int;
@@ -29,36 +55,62 @@ type config = {
 let default_config = { nodes = 4; cores_per_node = 2; flat = false }
 
 type report = {
-  scatter_bytes : int;  (** bytes shipped main -> nodes *)
-  gather_bytes : int;  (** bytes shipped nodes -> main *)
+  scatter_bytes : int;  (** bytes shipped main -> nodes (retries included) *)
+  gather_bytes : int;  (** bytes shipped nodes -> main (retries included) *)
   scatter_messages : int;
   gather_messages : int;
   max_message_bytes : int;  (** largest single message *)
+  retries : int;  (** task re-issues after a timeout *)
+  redeliveries : int;  (** duplicate/late replies discarded by dedup *)
+  corrupt_drops : int;  (** messages rejected by checksum/decode *)
+  crashed_nodes : int;  (** injected node crashes survived *)
+  faults_injected : int;  (** total faults the injector fired *)
+  recovery_ns : int;  (** wall time spent in timeout/retry recovery *)
 }
+
+let clean_report =
+  {
+    scatter_bytes = 0;
+    gather_bytes = 0;
+    scatter_messages = 0;
+    gather_messages = 0;
+    max_message_bytes = 0;
+    retries = 0;
+    redeliveries = 0;
+    corrupt_drops = 0;
+    crashed_nodes = 0;
+    faults_injected = 0;
+    recovery_ns = 0;
+  }
 
 let pp_report fmt r =
   Format.fprintf fmt
     "scatter: %d msgs / %d B; gather: %d msgs / %d B; max msg %d B"
     r.scatter_messages r.scatter_bytes r.gather_messages r.gather_bytes
-    r.max_message_bytes
+    r.max_message_bytes;
+  if
+    r.retries > 0 || r.redeliveries > 0 || r.corrupt_drops > 0
+    || r.crashed_nodes > 0 || r.faults_injected > 0
+  then
+    Format.fprintf fmt
+      "; faults %d: %d retries, %d redeliveries, %d corrupt drops, %d \
+       crashed nodes, recovery %.3f ms"
+      r.faults_injected r.retries r.redeliveries r.corrupt_drops
+      r.crashed_nodes
+      (float_of_int r.recovery_ns /. 1e6)
 
-(** [run cfg ~scatter ~work ~result_codec ~merge ~init] executes a
-    distributed parallel operation:
+let worker_count cfg =
+  if cfg.flat then cfg.nodes * cfg.cores_per_node else cfg.nodes
 
-    - [scatter node] produces the payload (sliced input data) for each
-      node; it is serialized and sent through the node's mailbox.
-    - [work ~node ~pool payload] runs on the receiving side against the
-      decoded payload, using [pool] for intra-node parallelism.
-    - each node's result is serialized with [result_codec], shipped
-      back, decoded, and folded with [merge] in node order.
+(* ------------------------------------------------------------------ *)
+(* Fault-free path: byte-for-byte the original protocol.  Replies are
+   accumulated per worker and folded in worker order; arrival order
+   coincides with worker order here (the node loop is sequential and
+   mailboxes are FIFO), so results and reports are unchanged — but the
+   merge-order contract no longer depends on that coincidence. *)
 
-    When [cfg.flat] is set there are [nodes * cores_per_node] worker
-    processes, each receiving its own scatter payload and running
-    single-threaded — Eden's execution model. *)
-let run ?pool cfg ~scatter ~work ~result_codec ~merge ~init =
-  if cfg.nodes <= 0 || cfg.cores_per_node <= 0 then
-    invalid_arg "Cluster.run: bad config";
-  let workers = if cfg.flat then cfg.nodes * cfg.cores_per_node else cfg.nodes in
+let run_clean pool cfg ~scatter ~work ~result_codec ~merge ~init =
+  let workers = worker_count cfg in
   let mailboxes = Array.init workers (fun _ -> Mailbox.create ()) in
   let return_box = Mailbox.create () in
   let scatter_bytes = ref 0 and scatter_msgs = ref 0 in
@@ -67,27 +119,22 @@ let run ?pool cfg ~scatter ~work ~result_codec ~merge ~init =
   (* Scatter: main serializes each node's slice and posts it. *)
   for node = 0 to workers - 1 do
     let payload = scatter node in
-    let bytes = Triolet_base.Codec.to_bytes Triolet_base.Payload.codec payload in
+    let bytes = Codec.to_bytes Payload.codec payload in
     max_msg := max !max_msg (Bytes.length bytes);
     scatter_bytes := !scatter_bytes + Bytes.length bytes;
     incr scatter_msgs;
     Log.debug (fun m -> m "scatter: %d bytes to node %d" (Bytes.length bytes) node);
     Mailbox.send mailboxes.(node) bytes
   done;
-  (* Node side: decode, compute, reply.  Nodes run in sequence in this
-     process; the pool provides the intra-node parallelism.  A fresh
-     per-call pool would cost a domain spawn per operation, so nodes
-     share the default pool, capped at the configured core count. *)
-  let pool = match pool with Some p -> p | None -> Pool.default () in
   Stats.ensure_workers (Pool.size pool);
   let before_work = Stats.snapshot () in
+  (* Node side: decode, compute, reply.  Nodes run in sequence in this
+     process; the pool provides the intra-node parallelism. *)
   for node = 0 to workers - 1 do
     let bytes = Mailbox.recv mailboxes.(node) in
-    let payload =
-      Triolet_base.Codec.of_bytes Triolet_base.Payload.codec bytes
-    in
+    let payload = Codec.of_bytes Payload.codec bytes in
     let r = work ~node ~pool payload in
-    let reply = Triolet_base.Codec.to_bytes result_codec r in
+    let reply = Codec.to_bytes result_codec r in
     Log.debug (fun m -> m "gather: %d bytes from node %d" (Bytes.length reply) node);
     max_msg := max !max_msg (Bytes.length reply);
     gather_bytes := !gather_bytes + Bytes.length reply;
@@ -105,13 +152,247 @@ let run ?pool cfg ~scatter ~work ~result_codec ~merge ~init =
       and steals = after.Stats.steals - before_work.Stats.steals in
       m "intra-node: %d chunks, %d splits, %d steals, imbalance %.2f" delta
         splits steals (Stats.imbalance after));
-  (* Gather: main decodes replies in arrival order and merges. *)
-  let acc = ref init in
-  for _ = 0 to workers - 1 do
+  (* Gather: the i-th reply through the FIFO return box is worker i's
+     (single sender, in-order sends), so indexing by receive position
+     is the worker tag. *)
+  let results = Array.make workers None in
+  for w = 0 to workers - 1 do
     let reply = Mailbox.recv return_box in
-    let r = Triolet_base.Codec.of_bytes result_codec reply in
-    acc := merge !acc r
+    results.(w) <- Some (Codec.of_bytes result_codec reply)
   done;
+  let acc = ref init in
+  for w = 0 to workers - 1 do
+    match results.(w) with
+    | Some r -> acc := merge !acc r
+    | None -> assert false
+  done;
+  ( !acc,
+    {
+      clean_report with
+      scatter_bytes = !scatter_bytes;
+      gather_bytes = !gather_bytes;
+      scatter_messages = !scatter_msgs;
+      gather_messages = !gather_msgs;
+      max_message_bytes = !max_msg;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injected path. *)
+
+exception Recovery_exhausted of { worker : int; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | Recovery_exhausted { worker; attempts } ->
+        Some
+          (Printf.sprintf
+             "Cluster.Recovery_exhausted (worker %d still unresolved after %d \
+              attempts)"
+             worker attempts)
+    | _ -> None)
+
+let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
+  let workers = worker_count cfg in
+  let fault = Fault.make spec in
+  let mailboxes = Array.init workers (fun _ -> Mailbox.create ()) in
+  let return_box = Mailbox.create () in
+  let scatter_bytes = ref 0 and scatter_msgs = ref 0 in
+  let gather_bytes = ref 0 and gather_msgs = ref 0 in
+  let max_msg = ref 0 in
+  let retries = ref 0 and redeliveries = ref 0 and corrupt_drops = ref 0 in
+  (* Envelopes: every message carries the logical worker id and the
+     attempt sequence number under a CRC over the payload bytes. *)
+  let scatter_codec =
+    Codec.checksummed Codec.(triple int int Payload.codec)
+  in
+  let reply_codec = Codec.checksummed Codec.(triple int int result_codec) in
+  (* Payloads are kept so a lost or crashed worker's slice can be
+     re-scattered; [seq] numbers each (re-)issue of a worker's task. *)
+  let payloads = Array.init workers scatter in
+  let seq = Array.make workers 0 in
+  let results = Array.make workers None in
+  let attempts = Array.make workers 0 in
+  let failed_exn = Array.make workers None in
+  let corrupt_reject () =
+    incr corrupt_drops;
+    Stats.record_corrupt_drop ()
+  in
+  let send_scatter ~target wk =
+    seq.(wk) <- seq.(wk) + 1;
+    let bytes = Codec.to_bytes scatter_codec (wk, seq.(wk), payloads.(wk)) in
+    max_msg := max !max_msg (Bytes.length bytes);
+    scatter_bytes := !scatter_bytes + Bytes.length bytes;
+    incr scatter_msgs;
+    attempts.(wk) <- attempts.(wk) + 1;
+    Log.debug (fun m ->
+        m "scatter: %d bytes for worker %d -> node %d (attempt %d)"
+          (Bytes.length bytes) wk target attempts.(wk));
+    Fault.send fault ~link:(Fault.To_node target) mailboxes.(target) bytes
+  in
+  (* Drive one node execution attempt: node [target] tries to pick up a
+     task from its mailbox, compute, and reply.  Any failure (lost or
+     corrupt input, crash, exception in [work]) simply produces no
+     reply; the gather loop's timeout owns recovery. *)
+  let run_attempt target =
+    if not (Fault.is_crashed fault target) then
+      match Mailbox.recv_timeout mailboxes.(target) spec.Fault.base_timeout with
+      | `Timeout | `Closed -> ()
+      | `Msg bytes -> (
+          match Codec.of_bytes scatter_codec bytes with
+          | exception e ->
+              Log.debug (fun m ->
+                  m "node %d: corrupt task message (%s)" target
+                    (Printexc.to_string e));
+              corrupt_reject ()
+          | wk, sq, payload ->
+              if Fault.crash_now fault ~node:target ~phase:Fault.Before_work
+              then Mailbox.close mailboxes.(target)
+              else begin
+                (* [work] sees the logical worker id whose slice this
+                   is — stable across re-execution on another node. *)
+                match work ~node:wk ~pool payload with
+                | exception e ->
+                    (* An exception inside [work] is a node failure for
+                       this attempt; it is re-raised only once recovery
+                       gives up on the worker. *)
+                    Log.debug (fun m ->
+                        m "node %d: work raised %s" target
+                          (Printexc.to_string e));
+                    failed_exn.(wk) <- Some e
+                | r ->
+                    if
+                      Fault.crash_now fault ~node:target
+                        ~phase:Fault.During_work
+                    then Mailbox.close mailboxes.(target)
+                    else begin
+                      let crashed_after =
+                        Fault.crash_now fault ~node:target
+                          ~phase:Fault.After_work
+                      in
+                      if crashed_after then Mailbox.close mailboxes.(target)
+                      else begin
+                        let reply =
+                          Codec.to_bytes reply_codec (wk, sq, r)
+                        in
+                        max_msg := max !max_msg (Bytes.length reply);
+                        gather_bytes := !gather_bytes + Bytes.length reply;
+                        incr gather_msgs;
+                        Fault.send fault ~link:(Fault.From_node target)
+                          return_box reply
+                      end
+                    end
+              end)
+  in
+  let surviving_node ~for_worker =
+    let rec find i =
+      if i >= workers then None
+      else if not (Fault.is_crashed fault i) then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some n ->
+        Log.debug (fun m ->
+            m "worker %d: re-executing on surviving node %d" for_worker n);
+        n
+    | None -> raise (Recovery_exhausted { worker = for_worker; attempts = 0 })
+  in
+  (* Initial round: scatter everything, let every node attempt once. *)
+  for w = 0 to workers - 1 do
+    send_scatter ~target:w w
+  done;
+  Stats.ensure_workers (Pool.size pool);
+  for node = 0 to workers - 1 do
+    run_attempt node
+  done;
+  (* Gather with timeout-driven recovery: collect worker-tagged replies
+     at most once each; a timeout re-issues every unresolved worker's
+     task with capped exponential backoff. *)
+  let outstanding = ref workers in
+  let round = ref 0 in
+  let recovery_started = ref None in
+  while !outstanding > 0 do
+    match
+      Mailbox.recv_timeout return_box (Fault.timeout_for spec ~attempt:!round)
+    with
+    | `Closed -> assert false (* the main side never closes its own box *)
+    | `Msg bytes -> (
+        match Codec.of_bytes reply_codec bytes with
+        | exception e ->
+            Log.debug (fun m ->
+                m "gather: corrupt reply (%s)" (Printexc.to_string e));
+            corrupt_reject ()
+        | wk, sq, r ->
+            if wk < 0 || wk >= workers then corrupt_reject ()
+            else if results.(wk) <> None then begin
+              (* At-most-once merge: a duplicate or a late reply from a
+                 superseded attempt. *)
+              Log.debug (fun m -> m "gather: redelivery for worker %d" wk);
+              incr redeliveries;
+              Stats.record_redelivery ()
+            end
+            else begin
+              Log.debug (fun m ->
+                  m "gather: accepted worker %d (seq %d)" wk sq);
+              results.(wk) <- Some r;
+              decr outstanding
+            end)
+    | `Timeout ->
+        if !recovery_started = None then
+          recovery_started := Some (Unix.gettimeofday ());
+        incr round;
+        for wk = 0 to workers - 1 do
+          if results.(wk) = None then begin
+            if attempts.(wk) >= spec.Fault.max_attempts then begin
+              match failed_exn.(wk) with
+              | Some e -> raise e
+              | None ->
+                  raise
+                    (Recovery_exhausted { worker = wk; attempts = attempts.(wk) })
+            end;
+            incr retries;
+            Stats.record_retry ();
+            let target =
+              if Fault.is_crashed fault wk then surviving_node ~for_worker:wk
+              else wk
+            in
+            send_scatter ~target wk;
+            run_attempt target
+          end
+        done
+  done;
+  (* Drain replies that arrived after the last worker resolved — the
+     duplicates and superseded-attempt replies the retry machinery
+     produced — so redelivery accounting covers them. *)
+  let rec drain () =
+    match Mailbox.try_recv return_box with
+    | None -> ()
+    | Some bytes ->
+        (match Codec.of_bytes reply_codec bytes with
+        | exception _ -> corrupt_reject ()
+        | wk, _, _ ->
+            if wk >= 0 && wk < workers then begin
+              incr redeliveries;
+              Stats.record_redelivery ()
+            end
+            else corrupt_reject ());
+        drain ()
+  in
+  drain ();
+  let recovery_ns =
+    match !recovery_started with
+    | None -> 0
+    | Some t0 ->
+        let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        Stats.record_recovery_ns ns;
+        ns
+  in
+  let acc = ref init in
+  for w = 0 to workers - 1 do
+    match results.(w) with
+    | Some r -> acc := merge !acc r
+    | None -> assert false
+  done;
+  let c = Fault.counters fault in
   ( !acc,
     {
       scatter_bytes = !scatter_bytes;
@@ -119,4 +400,25 @@ let run ?pool cfg ~scatter ~work ~result_codec ~merge ~init =
       scatter_messages = !scatter_msgs;
       gather_messages = !gather_msgs;
       max_message_bytes = !max_msg;
+      retries = !retries;
+      redeliveries = !redeliveries;
+      corrupt_drops = !corrupt_drops;
+      crashed_nodes = c.Fault.crashes;
+      faults_injected =
+        c.Fault.drops + c.Fault.duplicates + c.Fault.corruptions
+        + c.Fault.delays + c.Fault.crashes;
+      recovery_ns;
     } )
+
+(* ------------------------------------------------------------------ *)
+
+let run ?pool ?faults cfg ~scatter ~work ~result_codec ~merge ~init =
+  if cfg.nodes <= 0 || cfg.cores_per_node <= 0 then
+    invalid_arg "Cluster.run: bad config";
+  (* Nodes share the default pool, capped at the configured core count;
+     a fresh per-call pool would cost a domain spawn per operation. *)
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  match faults with
+  | None -> run_clean pool cfg ~scatter ~work ~result_codec ~merge ~init
+  | Some spec ->
+      run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init

@@ -5,7 +5,10 @@
     structurally fresh buffers, so a task can never touch the sender's
     memory.  Task *code* travels as an OCaml closure (serializing code
     is what the Triolet compiler adds); task *data* always travels as
-    bytes, and every byte is counted. *)
+    bytes, and every byte is counted.
+
+    Unlike the paper's MPI runtime, [run] can survive injected node and
+    link failures: see {!Fault} and the [?faults] argument below. *)
 
 type config = {
   nodes : int;
@@ -23,12 +26,27 @@ type report = {
   scatter_messages : int;
   gather_messages : int;
   max_message_bytes : int;
+  retries : int;  (** task re-issues after a receive timeout *)
+  redeliveries : int;  (** duplicate/late replies discarded by dedup *)
+  corrupt_drops : int;  (** messages rejected by checksum/decode *)
+  crashed_nodes : int;  (** injected node crashes survived *)
+  faults_injected : int;  (** total faults the injector fired *)
+  recovery_ns : int;  (** wall time spent in timeout/retry recovery *)
 }
+(** Fault-free runs leave the last six fields zero, and the first five
+    are computed exactly as before. *)
 
 val pp_report : Format.formatter -> report -> unit
+(** Prints the byte/message accounting; fault statistics are appended
+    only when any are nonzero, so fault-free output is unchanged. *)
+
+exception Recovery_exhausted of { worker : int; attempts : int }
+(** A worker's result could never be obtained within the fault plan's
+    attempt budget (or no surviving node remains). *)
 
 val run :
   ?pool:Pool.t ->
+  ?faults:Fault.spec ->
   config ->
   scatter:(int -> Triolet_base.Payload.t) ->
   work:(node:int -> pool:Pool.t -> Triolet_base.Payload.t -> 'r) ->
@@ -44,7 +62,23 @@ val run :
       using [pool] for intra-node parallelism (a 1-wide pool in flat
       mode);
     - each worker's result is serialized with [result_codec], shipped
-      back, decoded, and folded with [merge] in worker order.
+      back and decoded; replies are stored per worker id and folded
+      with [merge] strictly in worker order (worker 0 first), never in
+      arrival order, so [merge] need not be commutative.
 
     In flat mode there are [nodes * cores_per_node] single-threaded
-    workers; otherwise one worker per node. *)
+    workers; otherwise one worker per node.
+
+    With [?faults] (a deterministic, seeded fault plan) every message
+    travels in a CRC-checksummed envelope tagged with the worker id and
+    an attempt sequence number; lost, corrupt or late replies are
+    recovered by capped-exponential-backoff retry, re-executing a
+    crashed node's slice on a surviving node, and merging at most once
+    per worker.  [work] must then be re-executable (pure in its
+    payload); its [~node] argument is always the logical worker id
+    whose slice it computes, even when recovery runs that slice on a
+    different surviving node.  Raises {!Recovery_exhausted} if a worker stays
+    unresolved after [max_attempts] tries, and re-raises the [work]
+    exception if that is what kept failing.  Without [?faults],
+    results, wire bytes and the report are identical to the fault-free
+    runtime. *)

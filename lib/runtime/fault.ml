@@ -1,0 +1,223 @@
+(** Deterministic fault injection for the cluster runtime.
+
+    A real MPI deployment loses links and ranks; the in-process runtime
+    never does, so nothing exercised the recovery machinery the paper's
+    runtime lacks.  This module injects those failures *on purpose and
+    reproducibly*: every decision (drop this message?  flip which bit?)
+    is drawn from a splitmix64 stream seeded by the plan, and the
+    cluster protocol is single-threaded, so a given seed yields the
+    exact same fault schedule — and therefore the same retries,
+    redeliveries and recovery path — on every run.
+
+    Faults are applied at the mailbox boundary, per *link* (main to a
+    node, or a node back to main):
+
+    - {b drop}: the message is never enqueued;
+    - {b corrupt}: one byte is XORed with a nonzero mask before
+      delivery, which the checksummed envelope must catch;
+    - {b duplicate}: the message is enqueued twice, which at-most-once
+      reply dedup must absorb;
+    - {b delay}: the message is parked ({!Mailbox.send_delayed}) and
+      becomes visible only after the receiver times out — a straggler
+      whose reply crosses the retry on the wire.
+
+    Node-level faults: one node may crash permanently (before, during
+    or after its [work]), and designated straggler nodes have their
+    first reply delayed. *)
+
+module Rng = Triolet_base.Rng
+
+type crash_phase = Before_work | During_work | After_work
+
+type link =
+  | To_node of int  (** scatter: main -> node [i] *)
+  | From_node of int  (** gather: node [i] -> main *)
+
+type link_faults = {
+  drop : float;
+  duplicate : float;
+  corrupt : float;
+  delay : float;
+}
+
+let no_faults = { drop = 0.0; duplicate = 0.0; corrupt = 0.0; delay = 0.0 }
+
+let check_prob name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Fault: %s probability out of [0,1]" name)
+
+type spec = {
+  seed : int;
+  faults_of : link -> link_faults;
+      (** per-link fault rates; defaults to a uniform rate everywhere *)
+  crash : (int * crash_phase) option;
+      (** node that crashes permanently, and when *)
+  stragglers : int list;  (** nodes whose first reply is delayed *)
+  max_attempts : int;  (** per-worker cap on (re-)execution attempts *)
+  base_timeout : float;  (** seconds; first gather/node receive timeout *)
+  max_timeout : float;  (** cap for the exponential backoff *)
+}
+
+let spec ?(drop = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0) ?(delay = 0.0)
+    ?faults_of ?crash ?(stragglers = []) ?(max_attempts = 8)
+    ?(base_timeout = 0.005) ?(max_timeout = 0.1) ~seed () =
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  check_prob "corrupt" corrupt;
+  check_prob "delay" delay;
+  if max_attempts < 1 then invalid_arg "Fault.spec: max_attempts < 1";
+  if base_timeout <= 0.0 || max_timeout < base_timeout then
+    invalid_arg "Fault.spec: bad timeouts";
+  let uniform = { drop; duplicate; corrupt; delay } in
+  let faults_of =
+    match faults_of with Some f -> f | None -> fun _ -> uniform
+  in
+  { seed; faults_of; crash; stragglers; max_attempts; base_timeout;
+    max_timeout }
+
+type counters = {
+  drops : int;
+  duplicates : int;
+  corruptions : int;
+  delays : int;
+  crashes : int;
+}
+
+let zero_counters =
+  { drops = 0; duplicates = 0; corruptions = 0; delays = 0; crashes = 0 }
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "drops=%d duplicates=%d corruptions=%d delays=%d crashes=%d" c.drops
+    c.duplicates c.corruptions c.delays c.crashes
+
+type t = {
+  s : spec;
+  rng : Rng.t;
+  lock : Mutex.t;
+  mutable crashed : bool array;  (* grown on demand; index = node *)
+  mutable straggled : int list;  (* straggler delays already fired *)
+  mutable counters : counters;
+}
+
+let make s = {
+  s;
+  rng = Rng.create s.seed;
+  lock = Mutex.create ();
+  crashed = [||];
+  straggled = [];
+  counters = zero_counters;
+}
+
+let plan t = t.s
+
+let counters t =
+  Mutex.lock t.lock;
+  let c = t.counters in
+  Mutex.unlock t.lock;
+  c
+
+(* Exponential backoff, capped: 1x, 2x, 4x ... the base timeout. *)
+let timeout_for s ~attempt =
+  let a = max 0 (min attempt 30) in
+  Float.min s.max_timeout (s.base_timeout *. Float.of_int (1 lsl a))
+
+let ensure_node t node =
+  if node >= Array.length t.crashed then begin
+    let n = Array.make (node + 1) false in
+    Array.blit t.crashed 0 n 0 (Array.length t.crashed);
+    t.crashed <- n
+  end
+
+let is_crashed t node =
+  Mutex.lock t.lock;
+  let v = node < Array.length t.crashed && t.crashed.(node) in
+  Mutex.unlock t.lock;
+  v
+
+(** [crash_now t ~node ~phase] fires the planned crash the first time
+    execution of [node] reaches [phase]; once fired the node stays dead
+    ({!is_crashed}) and work for its slice must be re-executed on a
+    surviving node. *)
+let crash_now t ~node ~phase =
+  match t.s.crash with
+  | Some (n, p) when n = node && p = phase ->
+      Mutex.lock t.lock;
+      ensure_node t node;
+      let fresh = not t.crashed.(node) in
+      if fresh then begin
+        t.crashed.(node) <- true;
+        t.counters <- { t.counters with crashes = t.counters.crashes + 1 }
+      end;
+      Mutex.unlock t.lock;
+      if fresh then begin
+        Stats.record_crash ();
+        Stats.record_fault ()
+      end;
+      fresh
+  | _ -> false
+
+(* One Bernoulli draw.  Zero-rate faults skip the draw; determinism is
+   unaffected because the plan itself fixes which rates are zero. *)
+let roll t p = p > 0.0 && Rng.float t.rng < p
+
+let flip_byte t bytes =
+  let len = Bytes.length bytes in
+  if len = 0 then bytes
+  else begin
+    let b = Bytes.copy bytes in
+    let pos = Rng.int t.rng len in
+    let mask = 1 + Rng.int t.rng 255 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+    b
+  end
+
+let bump t f =
+  t.counters <- f t.counters;
+  Stats.record_fault ()
+
+(* A straggler node's first reply is forcibly delayed (consuming no
+   randomness, so stragglers do not shift the fault schedule of other
+   links). *)
+let straggle_now t link =
+  match link with
+  | From_node n
+    when List.mem n t.s.stragglers && not (List.mem n t.straggled) ->
+      t.straggled <- n :: t.straggled;
+      true
+  | To_node _ | From_node _ -> false
+
+(** [send t ~link mb bytes] delivers [bytes] through [mb], applying the
+    link's faults: possibly dropping, corrupting, delaying or
+    duplicating the message.  Counted in {!counters} and {!Stats}. *)
+let send t ~link mb bytes =
+  Mutex.lock t.lock;
+  let lf = t.s.faults_of link in
+  let dropped = roll t lf.drop in
+  let decision =
+    if dropped then begin
+      bump t (fun c -> { c with drops = c.drops + 1 });
+      None
+    end
+    else begin
+      let bytes =
+        if roll t lf.corrupt then begin
+          bump t (fun c -> { c with corruptions = c.corruptions + 1 });
+          flip_byte t bytes
+        end
+        else bytes
+      in
+      let delayed = straggle_now t link || roll t lf.delay in
+      if delayed then
+        bump t (fun c -> { c with delays = c.delays + 1 });
+      let dup = roll t lf.duplicate in
+      if dup then bump t (fun c -> { c with duplicates = c.duplicates + 1 });
+      Some (bytes, delayed, dup)
+    end
+  in
+  Mutex.unlock t.lock;
+  match decision with
+  | None -> ()
+  | Some (bytes, delayed, dup) ->
+      if delayed then Mailbox.send_delayed mb bytes else Mailbox.send mb bytes;
+      if dup then Mailbox.send mb (Bytes.copy bytes)

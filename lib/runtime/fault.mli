@@ -1,0 +1,89 @@
+(** Deterministic fault injection for the cluster runtime.
+
+    Every injected failure — message drop, duplication, corruption,
+    delay, node crash, straggler — is drawn from a splitmix64 stream
+    seeded by the plan.  The cluster protocol is single-threaded, so a
+    fixed seed reproduces the exact fault schedule, and with it the
+    runtime's recovery behaviour, run after run. *)
+
+type crash_phase =
+  | Before_work  (** node receives its payload but never computes *)
+  | During_work  (** node computes but dies before replying *)
+  | After_work  (** node computes; its reply is lost with it *)
+
+type link =
+  | To_node of int  (** scatter: main -> node [i] *)
+  | From_node of int  (** gather: node [i] -> main *)
+
+type link_faults = {
+  drop : float;  (** P(message never delivered) *)
+  duplicate : float;  (** P(message delivered twice) *)
+  corrupt : float;  (** P(one byte flipped in transit) *)
+  delay : float;  (** P(delivery held past the receiver's timeout) *)
+}
+
+val no_faults : link_faults
+
+type spec = {
+  seed : int;
+  faults_of : link -> link_faults;
+  crash : (int * crash_phase) option;
+  stragglers : int list;  (** nodes whose first reply is delayed *)
+  max_attempts : int;  (** per-worker cap on (re-)execution attempts *)
+  base_timeout : float;  (** seconds; first receive timeout *)
+  max_timeout : float;  (** backoff cap *)
+}
+
+val spec :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?corrupt:float ->
+  ?delay:float ->
+  ?faults_of:(link -> link_faults) ->
+  ?crash:int * crash_phase ->
+  ?stragglers:int list ->
+  ?max_attempts:int ->
+  ?base_timeout:float ->
+  ?max_timeout:float ->
+  seed:int ->
+  unit ->
+  spec
+(** Plan constructor.  [drop]/[duplicate]/[corrupt]/[delay] set a
+    uniform per-link rate (all default 0); [faults_of] overrides the
+    rates per link.  Defaults: no crash, no stragglers, 8 attempts,
+    5 ms base timeout capped at 100 ms.  Raises [Invalid_argument] on
+    rates outside [0,1] or nonsensical limits. *)
+
+type t
+(** A live injector: the plan plus its seeded random stream, crash
+    state, and fault counters. *)
+
+val make : spec -> t
+
+val plan : t -> spec
+
+type counters = {
+  drops : int;
+  duplicates : int;
+  corruptions : int;
+  delays : int;
+  crashes : int;
+}
+
+val zero_counters : counters
+val counters : t -> counters
+val pp_counters : Format.formatter -> counters -> unit
+
+val timeout_for : spec -> attempt:int -> float
+(** Capped exponential backoff: the receive timeout to use on the given
+    retry round (0-based). *)
+
+val send : t -> link:link -> Mailbox.t -> Bytes.t -> unit
+(** Deliver a message through a mailbox, applying the link's faults
+    (drop / corrupt one byte / park as delayed / duplicate). *)
+
+val crash_now : t -> node:int -> phase:crash_phase -> bool
+(** True exactly once, when execution of the planned crash node first
+    reaches the planned phase; the node is then permanently dead. *)
+
+val is_crashed : t -> int -> bool

@@ -3,12 +3,28 @@
     All inter-node traffic in the cluster runtime flows through
     mailboxes as opaque byte buffers — data crosses a node boundary only
     in serialized form, as on a real network.  Every send is counted in
-    {!Stats}. *)
+    {!Stats}.
+
+    Two extensions support the fault-tolerant runtime: a mailbox can be
+    {!close}d (a poison state that wakes blocked receivers instead of
+    leaving them stuck on a dead peer), and messages can be parked as
+    *delayed* ({!send_delayed}) — invisible to receivers until a
+    {!recv_timeout} expires, which models a straggling link whose
+    message arrives only after the receiver has already given up
+    waiting.  Both recovery paths (timeout-driven retry and late
+    duplicate delivery) are therefore deterministic: delivery order
+    depends only on the sequence of sends and timeouts, not on wall
+    clocks. *)
+
+exception Closed
 
 type t = {
   q : Bytes.t Queue.t;
+  delayed : Bytes.t Queue.t;
+      (* in-flight messages promoted to [q] when a receiver times out *)
   lock : Mutex.t;
   nonempty : Condition.t;
+  mutable closed : bool;
   mutable total_bytes : int;
   mutable total_messages : int;
 }
@@ -16,30 +32,98 @@ type t = {
 let create () =
   {
     q = Queue.create ();
+    delayed = Queue.create ();
     lock = Mutex.create ();
     nonempty = Condition.create ();
+    closed = false;
     total_bytes = 0;
     total_messages = 0;
   }
 
+let count_send t msg =
+  t.total_bytes <- t.total_bytes + Bytes.length msg;
+  t.total_messages <- t.total_messages + 1
+
 let send t msg =
   Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    raise Closed
+  end;
   Queue.push msg t.q;
-  t.total_bytes <- t.total_bytes + Bytes.length msg;
-  t.total_messages <- t.total_messages + 1;
+  count_send t msg;
   Condition.signal t.nonempty;
   Mutex.unlock t.lock;
   Stats.record_message ~bytes:(Bytes.length msg)
 
-(** Blocking receive. *)
+(** Park a message in flight: receivers cannot see it until one of them
+    times out ({!recv_timeout} returning [`Timeout] promotes every
+    delayed message to the live queue). *)
+let send_delayed t msg =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    raise Closed
+  end;
+  Queue.push msg t.delayed;
+  count_send t msg;
+  Mutex.unlock t.lock;
+  Stats.record_message ~bytes:(Bytes.length msg)
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+(** Blocking receive.  Pending messages are drained even after a close;
+    raises {!Closed} once the mailbox is closed and empty. *)
 let recv t =
   Mutex.lock t.lock;
-  while Queue.is_empty t.q do
+  while Queue.is_empty t.q && not t.closed do
     Condition.wait t.nonempty t.lock
   done;
+  if Queue.is_empty t.q then begin
+    Mutex.unlock t.lock;
+    raise Closed
+  end;
   let msg = Queue.pop t.q in
   Mutex.unlock t.lock;
   msg
+
+(* The stdlib [Condition] has no timed wait, so the timeout path polls
+   with a short sleep.  The poll interval only affects latency, never
+   delivery order, so fault-injected runs stay deterministic. *)
+let poll_interval = 0.0002
+
+let recv_timeout t timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    Mutex.lock t.lock;
+    if not (Queue.is_empty t.q) then begin
+      let msg = Queue.pop t.q in
+      Mutex.unlock t.lock;
+      `Msg msg
+    end
+    else if t.closed then begin
+      Mutex.unlock t.lock;
+      `Closed
+    end
+    else if Unix.gettimeofday () >= deadline then begin
+      (* The receiver has given up: any delayed messages now "arrive",
+         visible to the *next* receive — a late reply crossing a retry
+         on the wire. *)
+      Queue.transfer t.delayed t.q;
+      Mutex.unlock t.lock;
+      `Timeout
+    end
+    else begin
+      Mutex.unlock t.lock;
+      Unix.sleepf poll_interval;
+      loop ()
+    end
+  in
+  loop ()
 
 let try_recv t =
   Mutex.lock t.lock;
@@ -50,6 +134,12 @@ let try_recv t =
 let pending t =
   Mutex.lock t.lock;
   let n = Queue.length t.q in
+  Mutex.unlock t.lock;
+  n
+
+let delayed_pending t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.delayed in
   Mutex.unlock t.lock;
   n
 

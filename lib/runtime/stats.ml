@@ -29,6 +29,12 @@ type snapshot = {
   splits : int;
   failed_steals : int;
   tasks_spawned : int;
+  faults_injected : int;  (** messages dropped/duplicated/corrupted/delayed *)
+  retries : int;  (** gather timeouts that re-issued a node's task *)
+  redeliveries : int;  (** duplicate or late replies discarded by dedup *)
+  corrupt_drops : int;  (** messages rejected by checksum/decode *)
+  crashed_nodes : int;  (** node crashes fired by the injector *)
+  recovery_ns : int;  (** wall time spent in timeout/retry recovery *)
   per_worker : worker_snapshot array;
 }
 
@@ -39,6 +45,12 @@ let steals = Atomic.make 0
 let splits = Atomic.make 0
 let failed_steals = Atomic.make 0
 let tasks_spawned = Atomic.make 0
+let faults_injected = Atomic.make 0
+let retries = Atomic.make 0
+let redeliveries = Atomic.make 0
+let corrupt_drops = Atomic.make 0
+let crashed_nodes = Atomic.make 0
+let recovery_ns = Atomic.make 0
 
 (* Per-worker slots, indexed by pool worker id.  Each worker only ever
    bumps its own slot, so the fields are plain atomics with no
@@ -116,6 +128,14 @@ let record_busy ~worker ns =
 
 let record_task () = add tasks_spawned 1
 
+(* Fault-tolerance counters (bumped by {!Fault} and {!Cluster}). *)
+let record_fault () = add faults_injected 1
+let record_retry () = add retries 1
+let record_redelivery () = add redeliveries 1
+let record_corrupt_drop () = add corrupt_drops 1
+let record_crash () = add crashed_nodes 1
+let record_recovery_ns ns = add recovery_ns ns
+
 let snapshot () =
   {
     messages = Atomic.get messages;
@@ -125,6 +145,12 @@ let snapshot () =
     splits = Atomic.get splits;
     failed_steals = Atomic.get failed_steals;
     tasks_spawned = Atomic.get tasks_spawned;
+    faults_injected = Atomic.get faults_injected;
+    retries = Atomic.get retries;
+    redeliveries = Atomic.get redeliveries;
+    corrupt_drops = Atomic.get corrupt_drops;
+    crashed_nodes = Atomic.get crashed_nodes;
+    recovery_ns = Atomic.get recovery_ns;
     per_worker =
       Array.map
         (fun c ->
@@ -146,6 +172,12 @@ let reset () =
   Atomic.set splits 0;
   Atomic.set failed_steals 0;
   Atomic.set tasks_spawned 0;
+  Atomic.set faults_injected 0;
+  Atomic.set retries 0;
+  Atomic.set redeliveries 0;
+  Atomic.set corrupt_drops 0;
+  Atomic.set crashed_nodes 0;
+  Atomic.set recovery_ns 0;
   Array.iter
     (fun c ->
       Atomic.set c.c_chunks 0;
@@ -182,6 +214,12 @@ let measure f =
       splits = after.splits - before.splits;
       failed_steals = after.failed_steals - before.failed_steals;
       tasks_spawned = after.tasks_spawned - before.tasks_spawned;
+      faults_injected = after.faults_injected - before.faults_injected;
+      retries = after.retries - before.retries;
+      redeliveries = after.redeliveries - before.redeliveries;
+      corrupt_drops = after.corrupt_drops - before.corrupt_drops;
+      crashed_nodes = after.crashed_nodes - before.crashed_nodes;
+      recovery_ns = after.recovery_ns - before.recovery_ns;
       per_worker =
         Array.mapi
           (fun i a ->
@@ -217,6 +255,16 @@ let pp_snapshot fmt s =
      tasks=%d"
     s.messages s.bytes_sent s.chunks_run s.steals s.splits s.failed_steals
     s.tasks_spawned;
+  if
+    s.faults_injected > 0 || s.retries > 0 || s.redeliveries > 0
+    || s.corrupt_drops > 0 || s.crashed_nodes > 0
+  then
+    Format.fprintf fmt
+      "@\n  faults=%d retries=%d redeliveries=%d corrupt-drops=%d crashes=%d \
+       recovery=%.3fms"
+      s.faults_injected s.retries s.redeliveries s.corrupt_drops
+      s.crashed_nodes
+      (float_of_int s.recovery_ns /. 1e6);
   Array.iteri
     (fun i w ->
       if w.w_chunks > 0 || w.w_busy_ns > 0 then

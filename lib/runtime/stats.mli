@@ -22,6 +22,12 @@ type snapshot = {
   splits : int;
   failed_steals : int;
   tasks_spawned : int;
+  faults_injected : int;  (** messages dropped/duplicated/corrupted/delayed *)
+  retries : int;  (** gather timeouts that re-issued a node's task *)
+  redeliveries : int;  (** duplicate or late replies discarded by dedup *)
+  corrupt_drops : int;  (** messages rejected by checksum/decode *)
+  crashed_nodes : int;  (** node crashes fired by the injector *)
+  recovery_ns : int;  (** wall time spent in timeout/retry recovery *)
   per_worker : worker_snapshot array;
 }
 
@@ -39,6 +45,18 @@ val record_busy : worker:int -> int -> unit
 (** [record_busy ~worker ns] adds [ns] nanoseconds of busy time. *)
 
 val record_task : unit -> unit
+
+(** {1 Fault-tolerance counters}
+
+    Bumped by the {!Fault} injector and the recovery paths in
+    {!Cluster.run}; zero in fault-free runs. *)
+
+val record_fault : unit -> unit
+val record_retry : unit -> unit
+val record_redelivery : unit -> unit
+val record_corrupt_drop : unit -> unit
+val record_crash : unit -> unit
+val record_recovery_ns : int -> unit
 
 val snapshot : unit -> snapshot
 val reset : unit -> unit
