@@ -392,6 +392,88 @@ let demo_cmd =
     Term.(const run $ nodes $ cores $ flat $ faults_flag $ fault_rate_arg
           $ fault_seed_arg $ verbose_arg)
 
+(* Static analysis gate: reify every kernel's pipeline into a plan,
+   audit the plans, scan for unchecked unsafe accesses, and
+   exhaustively model-check the concurrency protocols.  Exit status 1
+   on any error-severity finding or protocol violation, so CI can use
+   it as a lint gate. *)
+let analyze_cmd =
+  let run nodes cores root verbose =
+    setup_logs verbose;
+    Triolet.Config.set_cluster
+      { Cluster.nodes; cores_per_node = cores; flat = false };
+    let module D = Triolet_kernels.Dataset in
+    let module Plan = Triolet_analysis.Plan in
+    let module Passes = Triolet_analysis.Passes in
+    let plans =
+      [
+        Plan.of_iter ~name:"mri-q"
+          (Triolet_kernels.Mriq.pipeline
+             (D.mriq ~seed:11 ~samples:32 ~voxels:64));
+        (let a, b = D.sgemm_matrices ~seed:21 ~m:12 ~k:8 ~n:10 in
+         Plan.of_iter2 ~name:"sgemm" (Triolet_kernels.Sgemm.pipeline a b));
+        (let d = D.tpacf ~seed:31 ~points:24 ~random_sets:3 in
+         Plan.of_iter ~name:"tpacf-dd"
+           (Triolet_kernels.Tpacf.dd_pipeline ~bins:8 d));
+        (let d = D.tpacf ~seed:31 ~points:24 ~random_sets:3 in
+         Plan.of_iter ~name:"tpacf-rr"
+           (Triolet_kernels.Tpacf.rr_pipeline ~bins:8 d));
+        Plan.of_iter ~name:"cutcp"
+          (Triolet_kernels.Cutcp.pipeline
+             (D.cutcp ~seed:41 ~atoms:24 ~nx:8 ~ny:8 ~nz:8 ~spacing:0.5
+                ~cutoff:1.5));
+      ]
+    in
+    print_endline "== plans ==";
+    List.iter (fun p -> print_endline (Plan.to_string p)) plans;
+    let findings = Passes.run_all plans @ Triolet_analysis.Unsafe_scan.run ~root () in
+    print_endline "== findings ==";
+    if findings = [] then print_endline "(none)"
+    else List.iter (fun f -> print_endline (Passes.to_string f)) findings;
+    print_endline "== protocol models ==";
+    let reports =
+      [
+        Triolet_sim.Protocol_models.Wsdeque_model.check ();
+        Triolet_sim.Protocol_models.Mailbox_model.check ();
+      ]
+    in
+    List.iter
+      (fun r -> print_endline (Triolet_sim.Modelcheck.report_to_string r))
+      reports;
+    let model_bad =
+      List.exists
+        (fun r -> r.Triolet_sim.Modelcheck.violation <> None)
+        reports
+    in
+    if Passes.has_errors findings || model_bad then begin
+      print_endline "analyze: FAILED";
+      1
+    end
+    else begin
+      print_endline "analyze: ok";
+      0
+    end
+  in
+  let nodes =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster nodes to plan for.")
+  in
+  let cores =
+    Arg.(value & opt int 2 & info [ "cores" ] ~doc:"Cores per node to plan for.")
+  in
+  let root =
+    Arg.(value & opt string "."
+         & info [ "root" ] ~docv:"DIR"
+             ~doc:"Source tree root for the unsafe-access scan.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analysis gate: audit reified kernel plans (coverage, \
+          fusion, serialization, grain), scan for unchecked unsafe \
+          accesses, and exhaustively model-check the deque and mailbox \
+          protocols")
+    Term.(const run $ nodes $ cores $ root $ verbose_arg)
+
 let () =
   let info =
     Cmd.info "triolet" ~version:"1.0.0"
@@ -402,5 +484,5 @@ let () =
        (Cmd.group info
           [
             fig_cmd; summary_cmd; ablation_cmd; all_cmd; verify_cmd; demo_cmd;
-            sim_cmd; faults_cmd;
+            sim_cmd; faults_cmd; analyze_cmd;
           ]))

@@ -1,0 +1,167 @@
+(** Coverage/disjointness oracle for block decompositions.
+
+    A decomposition is correct iff its blocks tile the index space
+    exactly once: every index covered, no index covered twice, no block
+    empty or out of bounds.  A wrong decomposition (a broken [rows] x
+    [outerproduct] grid, an off-by-one in a boundary) silently produces
+    wrong numbers at run time; this checker proves the property
+    statically and, when it fails, names the exact offending block.
+
+    The same functions serve as the oracle for the qcheck properties in
+    the test suite and for the plan analyzer's coverage pass, so the
+    property the tests state and the property CI gates on are one
+    piece of code. *)
+
+type violation =
+  | Empty_block of { block : int; detail : string }
+      (** block [block] covers no index *)
+  | Out_of_bounds of { block : int; detail : string }
+      (** block [block] reaches outside the index space *)
+  | Overlap of { block_a : int; block_b : int; detail : string }
+      (** blocks [block_a] and [block_b] both cover some index *)
+  | Gap of { detail : string }  (** some index is covered by no block *)
+
+let violation_to_string = function
+  | Empty_block { block; detail } ->
+      Printf.sprintf "empty block #%d %s" block detail
+  | Out_of_bounds { block; detail } ->
+      Printf.sprintf "out-of-bounds block #%d %s" block detail
+  | Overlap { block_a; block_b; detail } ->
+      Printf.sprintf "overlap between blocks #%d and #%d %s" block_a block_b
+        detail
+  | Gap { detail } -> Printf.sprintf "gap: %s" detail
+
+(* Shared 1-D sweep: blocks as (id, offset, length), assumed individually
+   valid (nonempty, in bounds).  [describe] renders an index for the
+   violation message — 2-D checks use it to add the row context. *)
+let sweep_1d ~n ~describe blocks =
+  let sorted =
+    List.sort
+      (fun (_, o1, _) (_, o2, _) -> compare (o1 : int) o2)
+      blocks
+  in
+  let viols = ref [] in
+  let add v = viols := v :: !viols in
+  let cur = ref 0 and owner = ref (-1) in
+  List.iter
+    (fun (id, off, len) ->
+      if off > !cur then
+        add (Gap { detail = Printf.sprintf "%s uncovered" (describe !cur off) });
+      if off < !cur && !owner >= 0 then
+        add
+          (Overlap
+             {
+               block_a = !owner;
+               block_b = id;
+               detail =
+                 Printf.sprintf "both cover %s"
+                   (describe off (min !cur (off + len)));
+             });
+      if off + len > !cur then begin
+        cur := off + len;
+        owner := id
+      end)
+    sorted;
+  if !cur < n then
+    add (Gap { detail = Printf.sprintf "%s uncovered" (describe !cur n) });
+  List.rev !viols
+
+(** [check_blocks ~n blocks] verifies that the (offset, length) blocks
+    tile [0, n) exactly once.  Empty input tiles an empty space. *)
+let check_blocks ~n (blocks : (int * int) array) =
+  let viols = ref [] in
+  let add v = viols := v :: !viols in
+  let valid = ref [] in
+  Array.iteri
+    (fun i (off, len) ->
+      if len <= 0 then
+        add
+          (Empty_block
+             { block = i; detail = Printf.sprintf "(off=%d, len=%d)" off len })
+      else if off < 0 || off + len > n then
+        add
+          (Out_of_bounds
+             {
+               block = i;
+               detail = Printf.sprintf "(off=%d, len=%d) vs [0, %d)" off len n;
+             })
+      else valid := (i, off, len) :: !valid)
+    blocks;
+  let describe lo hi =
+    if hi = lo + 1 then Printf.sprintf "index %d" lo
+    else Printf.sprintf "indices [%d, %d)" lo hi
+  in
+  List.rev !viols @ sweep_1d ~n ~describe (List.rev !valid)
+
+(** [check_grid ~rows ~cols blocks] verifies that the (row0, nrows,
+    col0, ncols) blocks tile the [rows] x [cols] space exactly once.
+    The space is swept in elementary row strips (no block boundary
+    strictly inside a strip), and each strip's column intervals must
+    tile [0, cols) exactly — so a violation is reported with both the
+    offending block(s) and a witness cell. *)
+let check_grid ~rows ~cols (blocks : (int * int * int * int) array) =
+  let viols = ref [] in
+  let add v = viols := v :: !viols in
+  let valid = ref [] in
+  Array.iteri
+    (fun i (r0, nr, c0, nc) ->
+      if nr <= 0 || nc <= 0 then
+        add
+          (Empty_block
+             {
+               block = i;
+               detail = Printf.sprintf "(r0=%d, nr=%d, c0=%d, nc=%d)" r0 nr c0 nc;
+             })
+      else if r0 < 0 || r0 + nr > rows || c0 < 0 || c0 + nc > cols then
+        add
+          (Out_of_bounds
+             {
+               block = i;
+               detail =
+                 Printf.sprintf "(r0=%d, nr=%d, c0=%d, nc=%d) vs %dx%d" r0 nr
+                   c0 nc rows cols;
+             })
+      else valid := (i, r0, nr, c0, nc) :: !valid)
+    blocks;
+  let valid = List.rev !valid in
+  let strip_viols =
+    if rows = 0 || cols = 0 then []
+    else begin
+      (* Elementary row strips from every block boundary. *)
+      let bounds =
+        List.concat_map (fun (_, r0, nr, _, _) -> [ r0; r0 + nr ]) valid
+        @ [ 0; rows ]
+      in
+      let bounds = List.sort_uniq compare bounds in
+      let rec strips acc = function
+        | y0 :: (y1 :: _ as rest) ->
+            let acc =
+              if y1 > y0 && y0 >= 0 && y1 <= rows then (y0, y1) :: acc
+              else acc
+            in
+            strips acc rest
+        | _ -> List.rev acc
+      in
+      List.concat_map
+        (fun (y0, y1) ->
+          let cols_of_strip =
+            List.filter_map
+              (fun (i, r0, nr, c0, nc) ->
+                if r0 <= y0 && r0 + nr >= y1 then Some (i, c0, nc) else None)
+              valid
+          in
+          let describe lo hi =
+            if hi = lo + 1 then Printf.sprintf "cell (%d, %d)" y0 lo
+            else Printf.sprintf "cells (%d, [%d, %d))" y0 lo hi
+          in
+          sweep_1d ~n:cols ~describe cols_of_strip)
+        (strips [] bounds)
+    end
+  in
+  List.rev !viols @ strip_viols
+
+(** Exact tiling as a boolean, for property tests. *)
+let covers_exactly_once ~n blocks = check_blocks ~n blocks = []
+
+let grid_covers_exactly_once ~rows ~cols blocks =
+  check_grid ~rows ~cols blocks = []

@@ -1,0 +1,38 @@
+(** Coverage/disjointness oracle for block decompositions.
+
+    Proves that a set of blocks tiles an index space exactly once —
+    every index covered, none covered twice, no block empty or out of
+    bounds — and, on failure, names the exact offending block(s) with a
+    witness index.  Shared between the plan analyzer's coverage pass and
+    the test suite's qcheck properties, so the tests and the CI gate
+    check the same property with the same code. *)
+
+type violation =
+  | Empty_block of { block : int; detail : string }
+      (** block [block] covers no index *)
+  | Out_of_bounds of { block : int; detail : string }
+      (** block [block] reaches outside the index space *)
+  | Overlap of { block_a : int; block_b : int; detail : string }
+      (** blocks [block_a] and [block_b] both cover some index *)
+  | Gap of { detail : string }  (** some index is covered by no block *)
+
+val violation_to_string : violation -> string
+
+val check_blocks : n:int -> (int * int) array -> violation list
+(** [check_blocks ~n blocks] checks that the [(offset, length)] blocks
+    tile [\[0, n)] exactly once.  Returns [[]] iff they do.  Block
+    indices in violations refer to positions in [blocks].  An empty
+    array tiles an empty space ([n = 0]). *)
+
+val check_grid :
+  rows:int -> cols:int -> (int * int * int * int) array -> violation list
+(** [check_grid ~rows ~cols blocks] checks that the
+    [(row0, nrows, col0, ncols)] blocks tile the [rows * cols] space
+    exactly once.  Violations carry a witness cell. *)
+
+val covers_exactly_once : n:int -> (int * int) array -> bool
+(** [check_blocks] as a boolean, for property tests. *)
+
+val grid_covers_exactly_once :
+  rows:int -> cols:int -> (int * int * int * int) array -> bool
+(** [check_grid] as a boolean, for property tests. *)

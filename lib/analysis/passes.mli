@@ -1,0 +1,40 @@
+(** Verification passes over reified plans.
+
+    - [coverage]: static block/grid partitions must tile the index
+      space exactly once (the {!Coverage} oracle, with exact-block
+      witnesses) — [Error] on violation;
+    - [fusion]: a parallel pipeline whose outer loop nest degenerated
+      to a stepper has lost random access and cannot be partitioned —
+      [Warning]; an [IdxNest] shape gets an [Info] noting the
+      irregularity is isolated;
+    - [serialization]: distributed tasks whose payload extraction
+      raises (boxed source without a codec) — [Error]; element-encoded
+      [Raw] payloads — [Info];
+    - [grain_advisory]: a [Config.grain_size] override coarse enough to
+      starve the pool — [Warning]; auto grains never warn. *)
+
+type severity = Info | Warning | Error
+
+type finding = {
+  pass : string;
+  plan : string;
+  severity : severity;
+  message : string;
+}
+
+val severity_to_string : severity -> string
+val to_string : finding -> string
+
+val has_errors : finding list -> bool
+(** True iff any finding is an [Error] — the analyze exit criterion. *)
+
+val coverage : Plan.t -> finding list
+val fusion : Plan.t -> finding list
+val serialization : Plan.t -> finding list
+val grain_advisory : Plan.t -> finding list
+
+val run_plan : Plan.t -> finding list
+(** All passes over one plan. *)
+
+val run_all : Plan.t list -> finding list
+(** All passes over every plan, in order. *)

@@ -1,0 +1,224 @@
+(** Reified execution plans.
+
+    [of_iter]/[of_iter2] interrogate an iterator pipeline *without
+    running a consumer* and produce a [t]: the loop-nest shape the tasks
+    will execute, the partition strategy the skeleton dispatch would
+    choose under the current {!Triolet.Config} cluster geometry, the
+    per-task index slices, and a summary of each task's serialized
+    payload.  The verification passes in {!Passes} then audit the plan
+    instead of the opaque closures. *)
+
+open Triolet
+
+type space = Space_1d of int | Space_2d of { rows : int; cols : int }
+
+type slice =
+  | Slice_1d of { off : int; len : int }
+  | Slice_2d of { r0 : int; nr : int; c0 : int; nc : int }
+
+type buf_summary =
+  | Floats_buf of int  (** pointer-free float buffer, element count *)
+  | Ints_buf of int  (** pointer-free int buffer, element count *)
+  | Raw_buf of int  (** opaque pre-encoded bytes (boxed source), length *)
+
+type task = {
+  slice : slice;
+  payload : (buf_summary list, string) result option;
+      (** [None] when the task runs in place (no payload extracted);
+          [Some (Error msg)] when slicing raised — e.g. a boxed source
+          with no codec asked for distributed execution. *)
+}
+
+type partition =
+  | Whole  (** one task over the whole space (sequential execution) *)
+  | Dynamic_ranges of { grain : int; overridden : bool }
+      (** lazy-splitting scheduler over contiguous ranges; [grain] is
+          the effective grain size, [overridden] when it came from
+          [Config.grain_size] rather than {!Triolet_runtime.Partition.grain} *)
+  | Static_blocks of (int * int) array
+      (** pre-cut 1-D (offset, length) node blocks *)
+  | Static_grid of {
+      row_parts : int;
+      col_parts : int;
+      blocks : (int * int * int * int) array;
+    }  (** 2-D (row0, nrows, col0, ncols) node block grid *)
+
+type t = {
+  name : string;
+  hint : Iter.hint;
+  space : space;
+  shape : Seq_iter.shape option;
+      (** loop-nest shape of a probe slice; [None] for 2-D pipelines
+          (always [IdxFlat] over a [Dim2] domain) or an empty space *)
+  partition : partition;
+  workers : int;  (** worker count the partition targets *)
+  tasks : task list;
+}
+
+let hint_to_string = function
+  | Iter.Sequential -> "sequential"
+  | Iter.Local -> "local"
+  | Iter.Distributed -> "distributed"
+
+let space_size = function
+  | Space_1d n -> n
+  | Space_2d { rows; cols } -> rows * cols
+
+let buf_summary_of = function
+  | Triolet_base.Payload.Floats a -> Floats_buf (Float.Array.length a)
+  | Triolet_base.Payload.Ints a -> Ints_buf (Array.length a)
+  | Triolet_base.Payload.Raw s -> Raw_buf (String.length s)
+
+let probe_payload extract =
+  match extract () with
+  | p -> Some (Ok (List.map buf_summary_of p))
+  | exception e -> Some (Error (Printexc.to_string e))
+
+let local_workers () =
+  Triolet_runtime.Pool.size (Triolet_runtime.Pool.default ())
+
+let distributed_workers () =
+  let cfg = Config.get_cluster () in
+  if cfg.Triolet_runtime.Cluster.flat then
+    cfg.Triolet_runtime.Cluster.nodes * cfg.Triolet_runtime.Cluster.cores_per_node
+  else cfg.Triolet_runtime.Cluster.nodes
+
+let effective_grain ~workers n =
+  match !Config.grain_size with
+  | Some g -> (g, true)
+  | None -> (Triolet_runtime.Partition.grain ~workers n, false)
+
+(** Reify a 1-D pipeline.  Mirrors the dispatch in [Iter]'s consumers:
+    sequential → one in-place task; local → lazy-splitting dynamic
+    ranges; distributed → [Partition.blocks] over the skeleton's worker
+    count, one payload per block. *)
+let of_iter ~name (it : 'a Iter.t) : t =
+  let len = Iter.length it in
+  let shape =
+    if len = 0 then None
+    else Some (Seq_iter.shape_of (it.Iter.local 0 (min len 4)))
+  in
+  let hint = Iter.hint it in
+  let partition, workers, tasks =
+    match hint with
+    | Iter.Sequential ->
+        ( Whole,
+          1,
+          [ { slice = Slice_1d { off = 0; len }; payload = None } ] )
+    | Iter.Local ->
+        let workers = local_workers () in
+        let grain, overridden = effective_grain ~workers len in
+        ( Dynamic_ranges { grain; overridden },
+          workers,
+          [ { slice = Slice_1d { off = 0; len }; payload = None } ] )
+    | Iter.Distributed ->
+        let workers = distributed_workers () in
+        let blocks = Triolet_runtime.Partition.blocks ~parts:workers len in
+        let tasks =
+          Array.to_list blocks
+          |> List.map (fun (off, n) ->
+                 {
+                   slice = Slice_1d { off; len = n };
+                   payload =
+                     probe_payload (fun () -> it.Iter.payload_of off n);
+                 })
+        in
+        (Static_blocks blocks, workers, tasks)
+  in
+  { name; hint; space = Space_1d len; shape; partition; workers; tasks }
+
+(** Reify a 2-D pipeline.  Mirrors [Iter2.build]/[Iter2.sum]:
+    sequential → whole; local → dynamic row bands; distributed → a
+    near-square [Partition.grid] of node blocks sliced with
+    [Iter2.payload_slice]. *)
+let of_iter2 ~name (it : 'a Iter2.t) : t =
+  let rows = Iter2.row_count it and cols = Iter2.col_count it in
+  let hint = Iter2.hint it in
+  let whole = { slice = Slice_2d { r0 = 0; nr = rows; c0 = 0; nc = cols };
+                payload = None } in
+  let partition, workers, tasks =
+    match hint with
+    | Iter.Sequential -> (Whole, 1, [ whole ])
+    | Iter.Local ->
+        let workers = local_workers () in
+        let grain, overridden = effective_grain ~workers rows in
+        (Dynamic_ranges { grain; overridden }, workers, [ whole ])
+    | Iter.Distributed ->
+        let workers = distributed_workers () in
+        let nodes = (Config.get_cluster ()).Triolet_runtime.Cluster.nodes in
+        let rp, cp = Triolet_runtime.Partition.square_factors nodes in
+        let blocks =
+          Triolet_runtime.Partition.grid ~row_parts:rp ~col_parts:cp ~rows
+            ~cols
+        in
+        let tasks =
+          Array.to_list blocks
+          |> List.map (fun (r0, nr, c0, nc) ->
+                 {
+                   slice = Slice_2d { r0; nr; c0; nc };
+                   payload =
+                     probe_payload (fun () ->
+                         Iter2.payload_slice it ~r0 ~nr ~c0 ~nc);
+                 })
+        in
+        (Static_grid { row_parts = rp; col_parts = cp; blocks }, workers, tasks)
+  in
+  {
+    name;
+    hint;
+    space = Space_2d { rows; cols };
+    shape = None;
+    partition;
+    workers;
+    tasks;
+  }
+
+let payload_bytes t =
+  List.fold_left
+    (fun acc task ->
+      match task.payload with
+      | Some (Ok bufs) ->
+          List.fold_left
+            (fun acc b ->
+              acc
+              + match b with
+                | Floats_buf n -> n * 8
+                | Ints_buf n -> n * 8
+                | Raw_buf n -> n)
+            acc bufs
+      | _ -> acc)
+    0 t.tasks
+
+let to_string t =
+  let b = Buffer.create 256 in
+  let space_str =
+    match t.space with
+    | Space_1d n -> Printf.sprintf "[0, %d)" n
+    | Space_2d { rows; cols } -> Printf.sprintf "%d x %d" rows cols
+  in
+  Buffer.add_string b
+    (Printf.sprintf "plan %-10s %-11s space %-12s" t.name
+       (hint_to_string t.hint) space_str);
+  (match t.shape with
+  | Some s ->
+      Buffer.add_string b
+        (Printf.sprintf " nest %s" (Seq_iter.shape_to_string s))
+  | None -> ());
+  (match t.partition with
+  | Whole -> Buffer.add_string b "\n  one task, in place"
+  | Dynamic_ranges { grain; overridden } ->
+      Buffer.add_string b
+        (Printf.sprintf "\n  dynamic ranges over %d workers, grain %d%s"
+           t.workers grain
+           (if overridden then " (override)" else " (auto)"))
+  | Static_blocks blocks ->
+      Buffer.add_string b
+        (Printf.sprintf "\n  %d static blocks over %d workers, %d payload bytes"
+           (Array.length blocks) t.workers (payload_bytes t))
+  | Static_grid { row_parts; col_parts; blocks } ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  %dx%d block grid (%d blocks) over %d workers, %d payload bytes"
+           row_parts col_parts (Array.length blocks) t.workers
+           (payload_bytes t)));
+  Buffer.contents b

@@ -1,0 +1,12 @@
+(** Unsafe-access ratchet: textual scan for [*.unsafe_get]/[set] sites
+    against a per-file allowance of audited uses.  Part of the
+    [triolet analyze] lint gate. *)
+
+val whitelist : (string * int) list
+(** Audited (file, allowed count) pairs, paths relative to the repo
+    root. *)
+
+val run : ?root:string -> unit -> Passes.finding list
+(** Scan [lib/], [bin/], [bench/] and [examples/] under [root]
+    (default ["."], skipping [_build] and dotfiles).  A file over its
+    allowance is an [Error]; under it, an [Info]; at it, silent. *)

@@ -45,3 +45,23 @@ let fold_left f acc v =
   !acc
 
 let clear v = v.len <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Audited unchecked floatarray access for kernel hot loops.
+
+   Kernels index flat [floatarray]s from loop bounds that already
+   guarantee validity; raw [Float.Array.unsafe_get] there is fast but
+   unauditable.  These wrappers assert the bound, so debug builds (the
+   default dune profile) catch a bad index at the faulting site, while
+   release builds compiled with [-noassert] keep the unchecked fast
+   path.  The static analyzer's unsafe-access pass whitelists exactly
+   these two definitions; kernels must go through them rather than
+   calling the raw accessors. *)
+
+let fget (a : floatarray) i =
+  assert (i >= 0 && i < Float.Array.length a);
+  Float.Array.unsafe_get a i
+
+let fset (a : floatarray) i x =
+  assert (i >= 0 && i < Float.Array.length a);
+  Float.Array.unsafe_set a i x

@@ -23,3 +23,14 @@ val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 
 val clear : 'a t -> unit
 (** Resets the length to zero without shrinking storage. *)
+
+(** {1 Audited unchecked floatarray access}
+
+    Bounds-asserting wrappers around [Float.Array.unsafe_get]/[set] for
+    kernel hot loops: debug builds (the default profile) assert the
+    index, release builds with [-noassert] keep the unchecked fast
+    path.  The analyzer's unsafe-access pass whitelists only these
+    definitions — kernels use them instead of the raw accessors. *)
+
+val fget : floatarray -> int -> float
+val fset : floatarray -> int -> float -> unit

@@ -30,6 +30,12 @@ type 'a t = {
 let row_count t = t.rows
 let col_count t = t.cols
 let hint t = t.hint
+let width t = t.width
+
+(* Plan-reification hook: expose the data slice a block would ship
+   without running the consumer, so the static analyzer can inspect the
+   payload of each remote task of a 2-D decomposition. *)
+let payload_slice t ~r0 ~nr ~c0 ~nc = t.payload_of r0 nr c0 nc
 
 let make ~rows ~cols ~local ~width ~payload_of ~rebuild =
   { hint = Iter.Sequential; rows; cols; local; width; payload_of; rebuild }

@@ -12,6 +12,15 @@ val row_count : 'a t -> int
 val col_count : 'a t -> int
 val hint : 'a t -> Iter.hint
 
+val width : 'a t -> int
+(** Number of payload buffers a block's slice contributes. *)
+
+val payload_slice :
+  'a t -> r0:int -> nr:int -> c0:int -> nc:int -> Triolet_base.Payload.t
+(** Plan-reification hook: the data slice block (r0, nr, c0, nc) would
+    ship, without running a consumer.  Used by the static plan
+    analyzer to audit 2-D decompositions. *)
+
 val make :
   rows:int ->
   cols:int ->

@@ -204,24 +204,47 @@ module Let_syntax = struct
   let ( and+ ) a b = zip a b
 end
 
-(** Human-readable description of the loop-nest structure, e.g.
-    ["IdxNest[6](StepFlat)"] for a filtered flat indexer.  The inner
-    structure of a nest is sampled from its first outer element (nests
-    may be heterogeneous; the first element is representative for
-    library-built iterators).  Useful for tests and for inspecting what
-    structure a pipeline actually built. *)
-let rec describe : 'a. 'a t -> string = function
-  | Idx_flat ix -> Printf.sprintf "IdxFlat[%d]" (Indexer.size ix)
-  | Step_flat _ -> "StepFlat"
+(** Reified loop-nest structure: the plan-level image of an iterator,
+    with the element type erased.  The inner structure of a nest is
+    sampled from its first outer element (nests may be heterogeneous;
+    the first element is representative for library-built iterators).
+    This is the reification hook the static plan analyzer builds on:
+    it tells the analyzer which levels of a fused pipeline kept
+    random access (partitionable) and which degraded to sequential
+    streams. *)
+type shape =
+  | Shape_idx_flat of int
+  | Shape_step_flat
+  | Shape_idx_nest of int * shape option
+  | Shape_step_nest of shape option
+
+let rec shape_of : 'a. 'a t -> shape = function
+  | Idx_flat ix -> Shape_idx_flat (Indexer.size ix)
+  | Step_flat _ -> Shape_step_flat
   | Idx_nest ix ->
       let inner =
-        if Indexer.size ix > 0 then describe (Indexer.get ix 0) else "empty"
+        if Indexer.size ix > 0 then Some (shape_of (Indexer.get ix 0))
+        else None
       in
-      Printf.sprintf "IdxNest[%d](%s)" (Indexer.size ix) inner
+      Shape_idx_nest (Indexer.size ix, inner)
   | Step_nest xss -> (
       match Stepper.find (fun _ -> true) xss with
-      | Some first -> Printf.sprintf "StepNest(%s)" (describe first)
-      | None -> "StepNest(empty)")
+      | Some first -> Shape_step_nest (Some (shape_of first))
+      | None -> Shape_step_nest None)
+
+let rec shape_to_string = function
+  | Shape_idx_flat n -> Printf.sprintf "IdxFlat[%d]" n
+  | Shape_step_flat -> "StepFlat"
+  | Shape_idx_nest (n, inner) ->
+      Printf.sprintf "IdxNest[%d](%s)" n
+        (match inner with Some s -> shape_to_string s | None -> "empty")
+  | Shape_step_nest inner ->
+      Printf.sprintf "StepNest(%s)"
+        (match inner with Some s -> shape_to_string s | None -> "empty")
+
+(** Human-readable description of the loop-nest structure, e.g.
+    ["IdxNest[6](StepFlat)"] for a filtered flat indexer. *)
+let describe it = shape_to_string (shape_of it)
 
 let of_seq seq = Step_flat (Stepper.of_seq seq)
 

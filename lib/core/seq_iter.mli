@@ -95,9 +95,27 @@ module Let_syntax : sig
   val ( and+ ) : 'a t -> 'b t -> ('a * 'b) t
 end
 
+(** {1 Plan reification}
+
+    The element-erased image of an iterator's loop nest, sampled from
+    its first outer element where nests are heterogeneous.  This is the
+    hook the static plan analyzer ({!Triolet_analysis.Plan}) uses to
+    reason about which levels of a fused pipeline kept random access. *)
+
+type shape =
+  | Shape_idx_flat of int  (** flat random-access level of that size *)
+  | Shape_step_flat  (** flat sequential stream *)
+  | Shape_idx_nest of int * shape option
+      (** random-access outer level; sampled inner shape ([None] when
+          the outer level is empty) *)
+  | Shape_step_nest of shape option  (** sequential outer level *)
+
+val shape_of : 'a t -> shape
+val shape_to_string : shape -> string
+
 val describe : 'a t -> string
-(** Loop-nest structure, e.g. ["IdxNest[6](StepFlat)"]; nests sample
-    their first outer element.  For inspection and tests. *)
+(** [shape_to_string (shape_of it)], e.g. ["IdxNest[6](StepFlat)"].
+    For inspection and tests. *)
 
 val of_seq : 'a Seq.t -> 'a t
 (** Stdlib [Seq] interop (sequential: a [Seq] has no random access). *)

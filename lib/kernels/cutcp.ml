@@ -16,6 +16,7 @@
 
 open Triolet
 module D = Dataset
+module Vec = Triolet_base.Vec
 
 let grid_index (c : D.cutcp) ix iy iz =
   ((iz * c.D.ny) + iy) * c.D.nx + ix
@@ -44,10 +45,10 @@ let run_c (c : D.cutcp) : floatarray =
   let grid = Float.Array.make (D.grid_points c) 0.0 in
   let atoms = Float.Array.length c.D.ax in
   for a = 0 to atoms - 1 do
-    let x = Float.Array.unsafe_get c.D.ax a
-    and y = Float.Array.unsafe_get c.D.ay a
-    and z = Float.Array.unsafe_get c.D.az a
-    and q = Float.Array.unsafe_get c.D.aq a in
+    let x = Vec.fget c.D.ax a
+    and y = Vec.fget c.D.ay a
+    and z = Vec.fget c.D.az a
+    and q = Vec.fget c.D.aq a in
     let x0, x1 = bounds c x c.D.nx in
     let y0, y1 = bounds c y c.D.ny in
     let z0, z1 = bounds c z c.D.nz in
@@ -57,7 +58,7 @@ let run_c (c : D.cutcp) : floatarray =
           match contribution c ~x ~y ~z ~q ix iy iz with
           | Some v ->
               let g = grid_index c ix iy iz in
-              Float.Array.unsafe_set grid g (Float.Array.unsafe_get grid g +. v)
+              Vec.fset grid g (Vec.fget grid g +. v)
           | None -> ()
         done
       done
@@ -85,7 +86,9 @@ let grid_pts (c : D.cutcp) (x, y, z, q) =
                            Seq_iter.singleton (grid_index c ix iy iz, v)
                        | None -> Seq_iter.empty)))
 
-let run_triolet ?(hint = Iter.par) (c : D.cutcp) : floatarray =
+(* The fused (index, weight) pipeline scatter_add consumes, exposed as
+   a plan-reification hook for [triolet analyze]. *)
+let pipeline ?(hint = Iter.par) (c : D.cutcp) =
   let atoms =
     Iter.zip
       (Iter.zip3
@@ -95,8 +98,10 @@ let run_triolet ?(hint = Iter.par) (c : D.cutcp) : floatarray =
       (Iter.of_floatarray c.D.aq)
   in
   let atoms = Iter.map (fun ((x, y, z), q) -> (x, y, z, q)) atoms in
-  Iter.scatter_add ~size:(D.grid_points c)
-    (Iter.concat_map (grid_pts c) (hint atoms))
+  Iter.concat_map (grid_pts c) (hint atoms)
+
+let run_triolet ?hint (c : D.cutcp) : floatarray =
+  Iter.scatter_add ~size:(D.grid_points c) (pipeline ?hint c)
 
 (* ------------------------------------------------------------------ *)
 
@@ -159,14 +164,14 @@ let run_gather ?(hint = Triolet.Iter3.par) (c : D.cutcp) : floatarray =
     let gz = float_of_int z *. c.D.spacing in
     let acc = ref 0.0 in
     for a = 0 to atoms - 1 do
-      let dx = gx -. Float.Array.unsafe_get c.D.ax a in
-      let dy = gy -. Float.Array.unsafe_get c.D.ay a in
-      let dz = gz -. Float.Array.unsafe_get c.D.az a in
+      let dx = gx -. Vec.fget c.D.ax a in
+      let dy = gy -. Vec.fget c.D.ay a in
+      let dz = gz -. Vec.fget c.D.az a in
       let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
       if r2 > 0.0 && r2 < cut2 then
         acc :=
           !acc
-          +. Float.Array.unsafe_get c.D.aq a
+          +. Vec.fget c.D.aq a
              *. ((1.0 /. sqrt r2) -. (1.0 /. c.D.cutoff))
     done;
     !acc

@@ -19,6 +19,15 @@ val run_triolet :
     [floatHist [f a r | a <- atoms, r <- gridPts a]].  [hint] defaults
     to [Iter.par]. *)
 
+val pipeline :
+  ?hint:
+    ((float * float * float * float) Triolet.Iter.t ->
+     (float * float * float * float) Triolet.Iter.t) ->
+  Dataset.cutcp ->
+  (int * float) Triolet.Iter.t
+(** Plan-reification hook: the fused (index, weight) pipeline
+    {!run_triolet}'s scatter-add consumes. *)
+
 val run_eden : Dataset.cutcp -> floatarray
 
 val agrees : ?eps:float -> floatarray -> floatarray -> bool

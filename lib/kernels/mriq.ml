@@ -58,8 +58,10 @@ let run_c (d : D.mriq) : result =
 (* The paper's Triolet code:
      [sum(ftcoeff(k, r) for k in ks) for r in par(zip3(x, y, z))]
    ftcoeff yields a complex contribution; the inner sum is sequential,
-   the outer map over voxels is the parallel loop. *)
-let run_triolet ?(hint = Iter.par) (d : D.mriq) : result =
+   the outer map over voxels is the parallel loop.  [pipeline] is the
+   fused iterator collect_float_pairs consumes, exposed as a
+   plan-reification hook for [triolet analyze]. *)
+let pipeline ?(hint = Iter.par) (d : D.mriq) =
   let mu = magnitudes d in
   let k = Float.Array.length d.D.kx in
   let voxel_sum (x, y, z) =
@@ -83,7 +85,10 @@ let run_triolet ?(hint = Iter.par) (d : D.mriq) : result =
       (Iter.of_floatarray d.D.y)
       (Iter.of_floatarray d.D.z)
   in
-  let qr, qi = Iter.collect_float_pairs (Iter.map voxel_sum (hint voxels)) in
+  Iter.map voxel_sum (hint voxels)
+
+let run_triolet ?hint (d : D.mriq) : result =
+  let qr, qi = Iter.collect_float_pairs (pipeline ?hint d) in
   { qr; qi }
 
 (* ------------------------------------------------------------------ *)

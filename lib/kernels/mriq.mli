@@ -16,6 +16,15 @@ val run_triolet :
 (** The paper's two-liner: a parallel map over voxels of a sequential
     sum over samples.  [hint] defaults to [Iter.par]. *)
 
+val pipeline :
+  ?hint:
+    ((float * float * float) Triolet.Iter.t ->
+     (float * float * float) Triolet.Iter.t) ->
+  Dataset.mriq ->
+  (float * float) Triolet.Iter.t
+(** Plan-reification hook: the fused per-voxel (real, imaginary)
+    pipeline {!run_triolet} collects. *)
+
 val run_eden : Dataset.mriq -> result
 (** Eden-style boxed-list code. *)
 

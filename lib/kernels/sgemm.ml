@@ -39,13 +39,18 @@ let run_c ?(alpha = 1.0) (a : Matrix.t) (b : Matrix.t) : Matrix.t =
      AB = [dot(u, v) for (u, v) in par(zipped_AB)]
    Transposition itself is parallelized over shared memory only
    (localpar), being too cheap to distribute (section 4.3). *)
-let run_triolet ?(alpha = 1.0) ?(hint = Iter2.par) (a : Matrix.t)
-    (b : Matrix.t) : Matrix.t =
+(* The 2-D dot-product iterator the build consumes — including B's
+   transposition — exposed as a plan-reification hook for
+   [triolet analyze]. *)
+let pipeline ?(alpha = 1.0) ?(hint = Iter2.par) (a : Matrix.t) (b : Matrix.t)
+    =
   if Matrix.cols a <> Matrix.rows b then invalid_arg "Sgemm.run_triolet";
   let bt = Matrix.transpose_par (Triolet_runtime.Pool.default ()) b in
   let zipped_ab = Iter2.outer_product (Iter2.rows a) (Iter2.rows bt) in
-  Iter2.build
-    (hint (Iter2.map (fun (u, v) -> alpha *. Matrix.view_dot u v) zipped_ab))
+  hint (Iter2.map (fun (u, v) -> alpha *. Matrix.view_dot u v) zipped_ab)
+
+let run_triolet ?alpha ?hint (a : Matrix.t) (b : Matrix.t) : Matrix.t =
+  Iter2.build (pipeline ?alpha ?hint a b)
 
 (* Eden-style, following the paper's Eden code: arrays are kept "in
    chunked form" — boxed lists of unboxed row vectors — so tasks can be

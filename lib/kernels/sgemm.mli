@@ -14,6 +14,15 @@ val run_triolet :
 (** The paper's two-line rows/outerproduct version; transposition runs
     [localpar] over shared memory.  [hint] defaults to [Iter2.par]. *)
 
+val pipeline :
+  ?alpha:float ->
+  ?hint:(float Triolet.Iter2.t -> float Triolet.Iter2.t) ->
+  Triolet.Matrix.t ->
+  Triolet.Matrix.t ->
+  float Triolet.Iter2.t
+(** Plan-reification hook: the 2-D dot-product iterator
+    {!run_triolet}'s build consumes (B already transposed). *)
+
 val run_eden : ?alpha:float -> Triolet.Matrix.t -> Triolet.Matrix.t -> Triolet.Matrix.t
 (** The paper's Eden style: boxed lists of unboxed row vectors
     ("chunked form"), sequential boxed transposition. *)

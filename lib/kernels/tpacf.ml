@@ -16,6 +16,7 @@
 
 open Triolet
 module D = Dataset
+module Vec = Triolet_base.Vec
 
 type result = { dd : int array; dr : int array; rr : int array }
 
@@ -26,9 +27,7 @@ let bin_of_dot ~bins dot =
   if b >= bins then bins - 1 else b
 
 let point (c : D.catalog) i =
-  ( Float.Array.unsafe_get c.D.cx i,
-    Float.Array.unsafe_get c.D.cy i,
-    Float.Array.unsafe_get c.D.cz i )
+  (Vec.fget c.D.cx i, Vec.fget c.D.cy i, Vec.fget c.D.cz i)
 
 let score ~bins (x1, y1, z1) (x2, y2, z2) =
   bin_of_dot ~bins ((x1 *. x2) +. (y1 *. y2) +. (z1 *. z2))
@@ -79,9 +78,12 @@ let run_c ~bins (d : D.tpacf) : result =
 
 (* correlation(size, pairs) = histogram(size, (score(u,v) for (u,v) in
    pairs)) — the common code of all three loops (Figure 6, lines 1-4).
-   [pairs] is an iterator with a localpar hint set by the caller. *)
-let correlation ~bins pairs =
-  Iter.histogram ~bins (Iter.map (fun (u, v) -> score ~bins u v) pairs)
+   [pairs] is an iterator with a localpar hint set by the caller.
+   [score_pipeline] is the fused iterator the histogram consumes,
+   split out as a plan-reification hook. *)
+let score_pipeline ~bins pairs = Iter.map (fun (u, v) -> score ~bins u v) pairs
+
+let correlation ~bins pairs = Iter.histogram ~bins (score_pipeline ~bins pairs)
 
 (* Triangular pair loop over one catalog:
      indexed = zip(indices(domain(rand)), rand)
@@ -116,20 +118,36 @@ let cross_pairs (c1 : D.catalog) (c2 : D.catalog) =
        (fun u -> Seq_iter.map (fun j -> (u, point c2 j)) (Seq_iter.range 0 n2))
        points1)
 
+let catalog_codec =
+  Triolet_base.Codec.map
+    ~inj:(fun (cx, cy, cz) -> { D.cx; cy; cz })
+    ~proj:(fun c -> (c.D.cx, c.D.cy, c.D.cz))
+    (Triolet_base.Codec.triple Triolet_base.Codec.floatarray
+       Triolet_base.Codec.floatarray Triolet_base.Codec.floatarray)
+
+(* The distributed pipeline of randomSetsCorrelation, pre-reduction:
+   one histogram per random set, computed where the set is shipped.
+   Exposed as a plan-reification hook. *)
+let random_sets_pipeline corr1 (rands : D.catalog array) =
+  Iter.map corr1 (Iter.par (Iter.of_array ~codec:catalog_codec rands))
+
 (* randomSetsCorrelation: a parallel reduction over the random sets that
    sums their histograms (Figure 6, lines 6-11). *)
 let random_sets_correlation ~bins corr1 (rands : D.catalog array) =
   let add h1 h2 = Array.mapi (fun i x -> x + h2.(i)) h1 in
-  let catalog_codec =
-    Triolet_base.Codec.map
-      ~inj:(fun (cx, cy, cz) -> { D.cx; cy; cz })
-      ~proj:(fun c -> (c.D.cx, c.D.cy, c.D.cz))
-      (Triolet_base.Codec.triple Triolet_base.Codec.floatarray
-         Triolet_base.Codec.floatarray Triolet_base.Codec.floatarray)
-  in
   Iter.reduce ~codec:Triolet_base.Codec.int_array ~merge:add
     ~init:(Array.make bins 0)
-    (Iter.map corr1 (Iter.par (Iter.of_array ~codec:catalog_codec rands)))
+    (random_sets_pipeline corr1 rands)
+
+(* Plan-reification hooks for [triolet analyze]: the exact fused
+   pipelines run_triolet's consumers execute — DD's shared-memory
+   triangular pair loop and RR's distributed reduction over random
+   sets. *)
+let dd_pipeline ~bins (d : D.tpacf) =
+  score_pipeline ~bins (self_pairs d.D.observed)
+
+let rr_pipeline ~bins (d : D.tpacf) =
+  random_sets_pipeline (fun r -> correlation ~bins (self_pairs r)) d.D.randoms
 
 let run_triolet ~bins (d : D.tpacf) : result =
   let dd = correlation ~bins (self_pairs d.D.observed) in

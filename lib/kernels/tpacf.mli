@@ -19,3 +19,15 @@ val run_triolet : bins:int -> Dataset.tpacf -> result
 val run_eden : bins:int -> Dataset.tpacf -> result
 
 val agrees : result -> result -> bool
+
+(** {1 Plan-reification hooks}
+
+    The exact fused pipelines {!run_triolet}'s consumers execute,
+    exposed so [triolet analyze] can reify and verify their plans. *)
+
+val dd_pipeline : bins:int -> Dataset.tpacf -> int Triolet.Iter.t
+(** DD's shared-memory triangular pair loop, mapped to bin indices. *)
+
+val rr_pipeline : bins:int -> Dataset.tpacf -> int array Triolet.Iter.t
+(** RR's distributed reduction over random sets, pre-merge: one
+    histogram per shipped set. *)

@@ -32,27 +32,41 @@ let owner ~parts n i =
 (** 2-D block grid over an [rows] x [cols] space: the cross product of a
     row partition and a column partition, as used by sgemm's 2-D block
     decomposition.  Returns (row0, nrows, col0, ncols) blocks in
-    row-major block order. *)
+    row-major block order.
+
+    Degenerate inputs degrade rather than corrupt the decomposition: an
+    empty space ([rows = 0] or [cols = 0]) yields no blocks at all, and
+    more parts than cells along either axis caps at one cell per block
+    — the grid never contains an empty or overlapping block. *)
 let grid ~row_parts ~col_parts ~rows ~cols =
-  let rblocks = blocks ~parts:row_parts rows in
-  let cblocks = blocks ~parts:col_parts cols in
-  Array.concat
-    (Array.to_list
-       (Array.map
-          (fun (r0, nr) ->
-            Array.map (fun (c0, nc) -> (r0, nr, c0, nc)) cblocks)
-          rblocks))
+  if row_parts <= 0 || col_parts <= 0 then
+    invalid_arg "Partition.grid: parts must be positive";
+  if rows < 0 || cols < 0 then invalid_arg "Partition.grid: negative extent";
+  if rows = 0 || cols = 0 then [||]
+  else
+    let rblocks = blocks ~parts:row_parts rows in
+    let cblocks = blocks ~parts:col_parts cols in
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (r0, nr) ->
+              Array.map (fun (c0, nc) -> (r0, nr, c0, nc)) cblocks)
+            rblocks))
 
 (** Near-square factorization of [parts] used to choose a block grid
     shape: returns (row_parts, col_parts) with row_parts * col_parts =
-    parts and the factors as close as possible. *)
+    parts, row_parts <= col_parts, and the factors as close as
+    possible.  The float sqrt seed is clamped to [\[1, parts\]] so
+    rounding on huge inputs can neither divide by zero nor overshoot
+    past the trivial factorization. *)
 let square_factors parts =
   if parts <= 0 then invalid_arg "Partition.square_factors";
-  let r = ref (int_of_float (sqrt (float_of_int parts))) in
+  let r = ref (max 1 (min parts (int_of_float (sqrt (float_of_int parts))))) in
   while parts mod !r <> 0 do
     decr r
   done;
-  (!r, parts / !r)
+  let r = !r and c = parts / !r in
+  if r <= c then (r, c) else (c, r)
 
 (** Number of chunks to cut a loop of [n] iterations into for a pool of
     [workers] workers.  Over-decomposition by [multiplier] gives the

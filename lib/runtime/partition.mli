@@ -16,7 +16,9 @@ val grid :
   row_parts:int -> col_parts:int -> rows:int -> cols:int ->
   (int * int * int * int) array
 (** 2-D block grid: (row0, nrows, col0, ncols) blocks in row-major block
-    order, covering the space exactly once. *)
+    order, covering the space exactly once.  An empty space yields no
+    blocks; more parts than cells along an axis caps at one cell per
+    block — never an empty or overlapping block. *)
 
 val square_factors : int -> int * int
 (** [square_factors p] = (r, c) with [r * c = p] and the factors as

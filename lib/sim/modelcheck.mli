@@ -1,0 +1,46 @@
+(** Bounded exhaustive interleaving explorer for small concurrent
+    protocol models.  Memoized DFS over canonical states (a light
+    partial-order reduction: interleavings converging to the same state
+    are explored once), invariant checked at every reachable state,
+    exact interleaving counts by path-counting over the acyclic state
+    graph. *)
+
+module type MODEL = sig
+  type state
+
+  val name : string
+
+  val scenarios : state list
+  (** Initial states, one per scenario to check. *)
+
+  val transitions : state -> (string * state) list
+  (** Enabled atomic steps, labeled for traces; [] means terminal.
+      Every transition must consume script work so the state graph is
+      acyclic. *)
+
+  val invariant : state -> string option
+  (** [Some msg] iff the state violates safety. *)
+
+  val terminal_ok : state -> string option
+  (** [Some msg] iff a terminal state is wrong (deadlock etc.). *)
+end
+
+type violation = {
+  scenario : int;  (** index into [scenarios] *)
+  message : string;
+  trace : string list;  (** transition labels from the initial state *)
+}
+
+type report = {
+  model : string;
+  scenarios : int;
+  states : int;  (** distinct states explored, summed over scenarios *)
+  interleavings : int;  (** exact count of distinct maximal executions *)
+  violation : violation option;  (** first violation, if any *)
+}
+
+val explore : (module MODEL with type state = 's) -> report
+(** Exhaustively explore every scenario; stops at the first
+    violation. *)
+
+val report_to_string : report -> string
