@@ -2,8 +2,17 @@
    per-mechanism claims, then the full figure harness (Figure 3
    measured; Figures 4, 5, 7, 8 simulated from calibrated costs).
 
+   Benchmarks are grouped into named families; each family runs with
+   tracing enabled and writes BENCH_<family>.json (rows + per-phase
+   span aggregates + runtime counter deltas) for the regression gate
+   [triolet bench --compare old.json new.json].
+
    Run with:  dune exec bench/main.exe            (full: a few minutes)
-              dune exec bench/main.exe -- quick   (reduced calibration)  *)
+              dune exec bench/main.exe -- quick   (reduced calibration)
+              dune exec bench/main.exe -- --list  (family names)
+              dune exec bench/main.exe -- --filter dot --out-dir results
+              dune exec bench/main.exe -- --json all.json
+   Unknown arguments are an error (exit 2), not silently ignored.      *)
 
 open Bechamel
 open Toolkit
@@ -307,10 +316,18 @@ let bench_scheduler =
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
-(* Accumulated (name, ns/run, speedup) rows for [--json]. *)
-let json_rows : (string * float * float option) list ref = ref []
+module Obs = Triolet_obs.Obs
+module Json = Triolet_obs.Json
+module Clock = Triolet_runtime.Clock
 
-let add_row ?speedup name ns = json_rows := (name, ns, speedup) :: !json_rows
+(* Rows of the family currently running (for its BENCH file) and of the
+   whole run (for the aggregate [--json] dump). *)
+let family_rows : (string * float * float option) list ref = ref []
+let all_rows : (string * float * float option) list ref = ref []
+
+let add_row ?speedup name ns =
+  family_rows := (name, ns, speedup) :: !family_rows;
+  all_rows := (name, ns, speedup) :: !all_rows
 
 let run_group test =
   let cfg =
@@ -348,9 +365,11 @@ let sched_measure ?(reps = 5) run =
   (* warm: pool up, code compiled *)
   let best = ref None in
   for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
+    (* Monotonic, not wall clock: an NTP step mid-run must not poison
+       the best-of-N minimum with a negative or tiny sample. *)
+    let t0 = Clock.monotonic_ns () in
     let _, s = Stats.measure (fun () -> ignore (run ())) in
-    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let wall_ns = float_of_int (Clock.monotonic_ns () - t0) in
     match !best with
     | Some (w, _) when w <= wall_ns -> ()
     | _ -> best := Some (wall_ns, s)
@@ -396,70 +415,165 @@ let sched_report () =
         ad_wall ~speedup:projected)
     variants
 
-let write_json file =
-  let oc = open_out file in
-  let escape s =
-    let b = Buffer.create (String.length s) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
+(* ------------------------------------------------------------------ *)
+(* Families and JSON output                                             *)
+
+let row_json (name, ns, speedup) =
+  let base =
+    [
+      ("name", Json.Str name);
+      ("ns_per_run", Json.Num (if Float.is_finite ns then ns else -1.0));
+    ]
   in
-  let rows = List.rev !json_rows in
-  output_string oc "[\n";
-  List.iteri
-    (fun i (name, ns, speedup) ->
-      let speedup_field =
-        match speedup with
-        | Some x when Float.is_finite x -> Printf.sprintf ", \"speedup\": %.4f" x
-        | _ -> ""
-      in
-      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f%s}%s\n"
-        (escape name)
-        (if Float.is_finite ns then ns else -1.0)
-        speedup_field
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  output_string oc "]\n";
-  close_out oc;
+  match speedup with
+  | Some x when Float.is_finite x -> Json.Obj (base @ [ ("speedup", Json.Num x) ])
+  | _ -> Json.Obj base
+
+let counters_json (s : Stats.snapshot) =
+  let num i = Json.Num (float_of_int i) in
+  Json.Obj
+    [
+      ("messages", num s.Stats.messages);
+      ("bytes_sent", num s.Stats.bytes_sent);
+      ("chunks_run", num s.Stats.chunks_run);
+      ("splits", num s.Stats.splits);
+      ("steals", num s.Stats.steals);
+      ("failed_steals", num s.Stats.failed_steals);
+      ("tasks_spawned", num s.Stats.tasks_spawned);
+      ("retries", num s.Stats.retries);
+      ("recovery_ns", num s.Stats.recovery_ns);
+    ]
+
+let families : (string * string * (quick:bool -> unit)) list =
+  [
+    ( "dot",
+      "loop fusion: dot product (paper section 2)",
+      fun ~quick:_ -> run_group bench_dot );
+    ( "nested",
+      "nested traversal encodings (Figure 1 'slow' cell)",
+      fun ~quick:_ -> run_group bench_nested );
+    ( "serialize",
+      "serialization: block copy vs element-wise (section 3.4)",
+      fun ~quick:_ -> run_group bench_serialize );
+    ( "histogram",
+      "histogramming: collector vs boxed list",
+      fun ~quick:_ -> run_group bench_histogram );
+    ("zip3", "zip fusion", fun ~quick:_ -> run_group bench_zip);
+    ( "cutcp-direction",
+      "cutcp scatter vs gather (Dim3)",
+      fun ~quick:_ -> run_group bench_cutcp_direction );
+    ( "payload",
+      "payload shipping (serialize + copy + decode)",
+      fun ~quick:_ -> run_group bench_payload );
+    ( "scheduler",
+      "scheduler: static preload vs adaptive lazy splitting",
+      fun ~quick:_ ->
+        run_group bench_scheduler;
+        sched_report () );
+    ( "kernels",
+      "kernel styles on micro instances (Figure 3 in miniature)",
+      fun ~quick:_ -> run_group bench_kernels );
+    ( "figures",
+      "figures (Figure 3 measured; 4, 5, 7, 8 simulated)",
+      fun ~quick ->
+        let scale = if quick then 0.25 else 1.0 in
+        ignore (Triolet_harness.Figures.all ~scale ()) );
+  ]
+
+let family_names = List.map (fun (n, _, _) -> n) families
+
+(* Each family runs with tracing on and freshly baselined counters, so
+   its BENCH file carries the phase breakdown and counter deltas of
+   exactly that family's runs. *)
+let run_family ~quick ~out_dir (name, desc, body) =
+  Printf.printf "\n-- %s --\n%!" desc;
+  family_rows := [];
+  Obs.reset ();
+  Obs.enable ();
+  Stats.reset ();
+  let t0 = Clock.monotonic_ns () in
+  body ~quick;
+  let wall_ns = Clock.monotonic_ns () - t0 in
+  Obs.disable ();
+  let stats = Stats.snapshot () in
+  let doc =
+    Json.Obj
+      [
+        ("family", Json.Str name);
+        ("wall_ns", Json.Num (float_of_int wall_ns));
+        ("rows", Json.Arr (List.rev_map row_json !family_rows));
+        ("phases", Obs.aggregates_json ());
+        ("counters", counters_json stats);
+        ("dropped_spans", Json.Num (float_of_int (Obs.dropped_spans ())));
+      ]
+  in
+  let path = Filename.concat out_dir ("BENCH_" ^ name ^ ".json") in
+  Json.to_file path doc;
+  Printf.printf "  [%d rows, wall %.1f ms -> %s]\n%!"
+    (List.length !family_rows)
+    (float_of_int wall_ns /. 1e6)
+    path
+
+let write_json file =
+  let rows = List.rev !all_rows in
+  Json.to_file file (Json.Arr (List.map row_json rows));
   Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length rows) file
 
-let json_file =
-  let rec find = function
-    | "--json" :: f :: _ -> Some f
-    | _ :: tl -> find tl
-    | [] -> None
+(* ------------------------------------------------------------------ *)
+(* Argument parsing: the full argv is scanned and anything unknown is
+   an error — a typoed flag must not silently run the 10-minute full
+   suite with the flag ignored. *)
+
+type opts = {
+  quick : bool;
+  filter : string option;
+  json : string option;
+  out_dir : string;
+  list : bool;
+}
+
+let usage_msg =
+  "usage: bench/main.exe [quick|--quick] [--list] [--filter FAMILY]\n\
+  \       [--json FILE] [--out-dir DIR]\n\
+   families: "
+  ^ String.concat ", " family_names
+  ^ "\n"
+
+let argv_error msg =
+  prerr_string ("bench: " ^ msg ^ "\n" ^ usage_msg);
+  exit 2
+
+let parse_argv () =
+  let rec go o = function
+    | [] -> o
+    | ("quick" | "--quick") :: tl -> go { o with quick = true } tl
+    | "--list" :: tl -> go { o with list = true } tl
+    | "--filter" :: f :: tl ->
+        if List.mem f family_names then go { o with filter = Some f } tl
+        else argv_error (Printf.sprintf "unknown family %S" f)
+    | [ "--filter" ] -> argv_error "--filter requires a family name"
+    | "--json" :: f :: tl -> go { o with json = Some f } tl
+    | [ "--json" ] -> argv_error "--json requires a file name"
+    | "--out-dir" :: d :: tl -> go { o with out_dir = d } tl
+    | [ "--out-dir" ] -> argv_error "--out-dir requires a directory"
+    | a :: _ -> argv_error (Printf.sprintf "unknown argument %S" a)
   in
-  find (Array.to_list Sys.argv)
+  go
+    { quick = false; filter = None; json = None; out_dir = "."; list = false }
+    (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
-  print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
-  print_endline "\n-- loop fusion: dot product (paper section 2) --";
-  run_group bench_dot;
-  print_endline "\n-- nested traversal encodings (Figure 1 'slow' cell) --";
-  run_group bench_nested;
-  print_endline "\n-- serialization: block copy vs element-wise (section 3.4) --";
-  run_group bench_serialize;
-  print_endline "\n-- histogramming: collector vs boxed list --";
-  run_group bench_histogram;
-  print_endline "\n-- zip fusion --";
-  run_group bench_zip;
-  print_endline "\n-- cutcp scatter vs gather (Dim3) --";
-  run_group bench_cutcp_direction;
-  print_endline "\n-- payload shipping (serialize + copy + decode) --";
-  run_group bench_payload;
-  print_endline "\n-- scheduler: static preload vs adaptive lazy splitting --";
-  run_group bench_scheduler;
-  sched_report ();
-  print_endline "\n-- kernel styles on micro instances (Figure 3 in miniature) --";
-  run_group bench_kernels;
-  print_endline "\n== Figures (Figure 3 measured; 4, 5, 7, 8 simulated) ==";
-  let scale = if quick then 0.25 else 1.0 in
-  ignore (Triolet_harness.Figures.all ~scale ());
-  Option.iter write_json json_file
+  let o = parse_argv () in
+  if o.list then List.iter print_endline family_names
+  else begin
+    if o.out_dir <> "." && not (Sys.file_exists o.out_dir) then
+      Sys.mkdir o.out_dir 0o755;
+    print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
+    let selected =
+      match o.filter with
+      | None -> families
+      | Some f -> List.filter (fun (n, _, _) -> n = f) families
+    in
+    List.iter (run_family ~quick:o.quick ~out_dir:o.out_dir) selected;
+    Option.iter write_json o.json
+  end

@@ -9,6 +9,8 @@ module Figures = Triolet_harness.Figures
 module Stats = Triolet_runtime.Stats
 module Cluster = Triolet_runtime.Cluster
 module Fault = Triolet_runtime.Fault
+module Clock = Triolet_runtime.Clock
+module Obs = Triolet_obs.Obs
 
 let verbose_arg =
   let doc = "Enable debug logging of the runtime (chunks, messages)." in
@@ -336,9 +338,9 @@ let faults_cmd =
     Term.(const run $ nodes $ cores $ fault_rate_arg $ fault_seed_arg
           $ verbose_arg)
 
-(* Distributed-runtime demo with byte accounting. *)
+(* Distributed-runtime demo with byte accounting and optional tracing. *)
 let demo_cmd =
-  let run nodes cores flat faults fault_rate fault_seed verbose =
+  let run nodes cores flat faults fault_rate fault_seed trace verbose =
     setup_logs verbose;
     Triolet.Config.set_cluster { Cluster.nodes; cores_per_node = cores; flat };
     if faults then
@@ -351,6 +353,11 @@ let demo_cmd =
     let xs = Float.Array.init n (fun i -> float_of_int (i mod 1000) /. 1000.0) in
     let ys = Float.Array.init n (fun i -> float_of_int ((i + 17) mod 1000) /. 1000.0) in
     Stats.reset ();
+    if trace <> None then begin
+      Obs.reset ();
+      Obs.enable ()
+    end;
+    let t0 = Clock.monotonic_ns () in
     let dot, delta =
       Stats.measure (fun () ->
           Triolet.Iter.sum
@@ -360,6 +367,7 @@ let demo_cmd =
                   (Triolet.Iter.par (Triolet.Iter.of_floatarray xs))
                   (Triolet.Iter.of_floatarray ys))))
     in
+    let wall_ns = Clock.monotonic_ns () - t0 in
     Printf.printf
       "dot product of 2 x %d floats on a %dx%d %s cluster = %.4f\n" n nodes
       cores
@@ -376,6 +384,29 @@ let demo_cmd =
         delta.Stats.faults_injected delta.Stats.retries
         delta.Stats.redeliveries delta.Stats.corrupt_drops
         delta.Stats.crashed_nodes;
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Obs.disable ();
+        Obs.write_trace path;
+        Format.printf "%a" Obs.pp_aggregates (Obs.aggregates ());
+        (* The cluster phases partition Cluster.run end to end, so
+           their totals should account for nearly all of the wall time
+           of a distributed run. *)
+        let cluster_phases =
+          [ "cluster.serialize"; "cluster.send"; "cluster.compute";
+            "cluster.recv"; "cluster.merge" ]
+        in
+        let covered =
+          List.fold_left (fun acc p -> acc + Obs.agg_total p) 0 cluster_phases
+        in
+        Printf.printf "wrote %s (%d events, %d dropped)\n" path
+          (List.length (Obs.events ()))
+          (Obs.dropped_spans ());
+        Printf.printf
+          "cluster phase coverage: %.1f%% of %.2f ms wall\n"
+          (100.0 *. float_of_int covered /. float_of_int wall_ns)
+          (float_of_int wall_ns /. 1e6));
     Triolet.Config.set_faults None;
     0
   in
@@ -386,11 +417,71 @@ let demo_cmd =
   let flat =
     Arg.(value & flag & info [ "flat" ] ~doc:"Flat (Eden-style) distribution.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record per-phase spans of the run and write them as a Chrome \
+             trace_event JSON file (load in chrome://tracing or Perfetto).")
+  in
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Distributed dot product on the in-process cluster, with byte accounting")
     Term.(const run $ nodes $ cores $ flat $ faults_flag $ fault_rate_arg
-          $ fault_seed_arg $ verbose_arg)
+          $ fault_seed_arg $ trace $ verbose_arg)
+
+(* Bench-result regression gate. *)
+let bench_cmd =
+  let compare_flag =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Compare two bench result files (written by bench/main.exe as \
+             BENCH_<family>.json or --json) and fail on regressions.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.15
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:
+            "Regression threshold as a fraction: a row regresses when \
+             new/old > 1 + T.")
+  in
+  let old_file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Baseline file.")
+  in
+  let new_file =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"Candidate file.")
+  in
+  let run compare threshold old_file new_file =
+    let module BC = Triolet_harness.Bench_compare in
+    match (compare, old_file, new_file) with
+    | true, Some old_f, Some new_f -> (
+        match BC.compare_files ~threshold old_f new_f with
+        | report ->
+            Format.printf "%a" (BC.pp_report ~threshold) report;
+            if report.BC.regressions = [] then 0 else 1
+        | exception Triolet_obs.Json.Parse_error msg ->
+            Printf.eprintf "bench: malformed input: %s\n" msg;
+            2)
+    | true, _, _ ->
+        prerr_endline "bench: --compare needs OLD and NEW result files";
+        2
+    | false, _, _ ->
+        print_endline
+          "run benchmarks with:  dune exec bench/main.exe -- --help\n\
+           compare results with: triolet bench --compare OLD NEW";
+        0
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Compare bench result files and exit nonzero on per-row slowdowns \
+          beyond the threshold")
+    Term.(const run $ compare_flag $ threshold $ old_file $ new_file)
 
 (* Static analysis gate: reify every kernel's pipeline into a plan,
    audit the plans, scan for unchecked unsafe accesses, and
@@ -484,5 +575,5 @@ let () =
        (Cmd.group info
           [
             fig_cmd; summary_cmd; ablation_cmd; all_cmd; verify_cmd; demo_cmd;
-            sim_cmd; faults_cmd; analyze_cmd;
+            sim_cmd; faults_cmd; analyze_cmd; bench_cmd;
           ]))

@@ -45,6 +45,19 @@ let whitelist =
 
 let scan_dirs = [ "lib"; "bin"; "bench"; "examples" ]
 
+(* Wall-clock ratchet: durations and deadlines must be computed on the
+   monotonic clock ({!Triolet_runtime.Clock.monotonic_ns}) — the wall
+   clock steps under NTP adjustment, which once produced spurious
+   mailbox timeouts and skewed recovery timing.  Any qualified call in
+   a timing-sensitive tree is an error with no allowance.  (Needle
+   assembled by concatenation so this file passes its own scan.) *)
+let wallclock_needle = "Unix." ^ "gettimeofday"
+let wallclock_dirs = [ "lib/runtime/"; "lib/harness/"; "lib/kernels/"; "bench/" ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
 let count_occurrences ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
   let rec go from acc =
@@ -59,11 +72,15 @@ let count_occurrences ~needle haystack =
   in
   go 0 0
 
-let count_file path =
+let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
+  s
+
+let count_file path =
+  let s = read_file path in
   List.fold_left (fun acc p -> acc + count_occurrences ~needle:p s) 0 patterns
 
 let rec walk dir acc =
@@ -101,7 +118,34 @@ let run ?(root = ".") () : Passes.finding list =
       String.sub path pl (l - pl)
     else path
   in
-  List.filter_map
+  let wallclock_findings =
+    List.filter_map
+      (fun path ->
+        let rel = strip path in
+        if not (List.exists (fun d -> starts_with ~prefix:d rel) wallclock_dirs)
+        then None
+        else
+          let count =
+            count_occurrences ~needle:wallclock_needle (read_file path)
+          in
+          if count = 0 then None
+          else
+            Some
+              {
+                Passes.pass = "wallclock";
+                plan = rel;
+                severity = Passes.Error;
+                message =
+                  Printf.sprintf
+                    "%d wall-clock timing call(s) in a timing path: use \
+                     Clock.monotonic_ns (NTP steps make wall-clock \
+                     deadlines and durations wrong)"
+                    count;
+              })
+      files
+  in
+  wallclock_findings
+  @ List.filter_map
     (fun path ->
       let rel = strip path in
       let count = count_file path in

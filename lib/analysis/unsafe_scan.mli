@@ -9,4 +9,9 @@ val whitelist : (string * int) list
 val run : ?root:string -> unit -> Passes.finding list
 (** Scan [lib/], [bin/], [bench/] and [examples/] under [root]
     (default ["."], skipping [_build] and dotfiles).  A file over its
-    allowance is an [Error]; under it, an [Info]; at it, silent. *)
+    allowance is an [Error]; under it, an [Info]; at it, silent.
+
+    Also runs the wall-clock pass: any [Unix]-qualified [gettimeofday]
+    in [lib/runtime/], [lib/harness/], [lib/kernels/] or [bench/] is an
+    [Error] with no allowance — timing paths must use the monotonic
+    clock. *)

@@ -13,6 +13,7 @@ module Cluster = Triolet_runtime.Cluster
 module Partition = Triolet_runtime.Partition
 module Payload = Triolet_base.Payload
 module Codec = Triolet_base.Codec
+module Obs = Triolet_obs.Obs
 
 (* A single-threaded pool for flat (Eden-model) node execution. *)
 let seq_pool_ref : Pool.t option ref = ref None
@@ -32,8 +33,9 @@ let seq_pool () =
     per-iteration cost (filtered or nested loops) rebalances across
     workers; per-worker partials are merged locally first. *)
 let local_reduce_with pool ~len ~chunk ~merge ~init =
-  Pool.parallel_range pool ?grain:!Config.grain_size ~lo:0 ~hi:len ~f:chunk
-    ~merge ~init ()
+  Obs.span ~name:"skel.local_reduce" (fun () ->
+      Pool.parallel_range pool ?grain:!Config.grain_size ~lo:0 ~hi:len ~f:chunk
+        ~merge ~init ())
 
 let local_reduce ~len ~chunk ~merge ~init =
   local_reduce_with (Pool.default ()) ~len ~chunk ~merge ~init
@@ -44,18 +46,18 @@ let local_reduce ~len ~chunk ~merge ~init =
     concatenation order matters. *)
 let local_map_chunks_with pool ~len ~chunk =
   if len <= 0 then [||]
-  else begin
-    let parts =
-      Partition.chunk_count ~multiplier:!Config.chunk_multiplier
-        ~workers:(Pool.size pool) len
-    in
-    let blocks = Partition.blocks ~parts len in
-    let out = Array.make (Array.length blocks) None in
-    Pool.parallel_for pool ~lo:0 ~hi:(Array.length blocks) (fun k ->
-        let off, n = blocks.(k) in
-        out.(k) <- Some (chunk off n));
-    Array.map Option.get out
-  end
+  else
+    Obs.span ~name:"skel.local_map_chunks" (fun () ->
+        let parts =
+          Partition.chunk_count ~multiplier:!Config.chunk_multiplier
+            ~workers:(Pool.size pool) len
+        in
+        let blocks = Partition.blocks ~parts len in
+        let out = Array.make (Array.length blocks) None in
+        Pool.parallel_for pool ~lo:0 ~hi:(Array.length blocks) (fun k ->
+            let off, n = blocks.(k) in
+            out.(k) <- Some (chunk off n));
+        Array.map Option.get out)
 
 let local_map_chunks ~len ~chunk =
   local_map_chunks_with (Pool.default ()) ~len ~chunk
@@ -67,6 +69,7 @@ let local_map_chunks ~len ~chunk =
     units are single-core processes. *)
 let distributed_reduce ~len ~payload_of ~node_work ~result_codec ~merge ~init
     =
+  Obs.span ~name:"skel.distributed_reduce" (fun () ->
   let cfg = Config.get_cluster () in
   let workers =
     if cfg.Cluster.flat then cfg.Cluster.nodes * cfg.Cluster.cores_per_node
@@ -89,11 +92,12 @@ let distributed_reduce ~len ~payload_of ~node_work ~result_codec ~merge ~init
         match r with None -> acc | Some v -> merge acc v)
       ~init
   in
-  result
+  result)
 
 (** Distributed map in block order: like {!distributed_reduce} but
     returns the per-node results as an array indexed by block. *)
 let distributed_map_blocks ~blocks ~payload_of ~node_work ~result_codec =
+  Obs.span ~name:"skel.distributed_map_blocks" (fun () ->
   let cfg = Config.get_cluster () in
   let nblocks = Array.length blocks in
   let pool = if cfg.Cluster.flat then seq_pool () else Pool.default () in
@@ -109,4 +113,4 @@ let distributed_map_blocks ~blocks ~payload_of ~node_work ~result_codec =
   in
   let out = Array.make nblocks None in
   List.iter (fun (node, r) -> out.(node) <- Some r) !results;
-  Array.map Option.get out
+  Array.map Option.get out)

@@ -1,0 +1,34 @@
+(** Comparison of two bench result files for the regression gate. *)
+
+type row = { name : string; ns_per_run : float }
+
+type delta = {
+  d_name : string;
+  old_ns : float;
+  new_ns : float;
+  ratio : float;  (** new / old; > 1.0 is a slowdown *)
+}
+
+type report = {
+  deltas : delta list;
+  only_old : string list;
+  only_new : string list;
+  regressions : delta list;
+}
+
+val rows_of_json : Triolet_obs.Json.t -> row list
+(** Rows of a bench file: either a [BENCH_<family>.json] object with a
+    ["rows"] array or a legacy top-level array of rows.  Entries without
+    a [name]/[ns_per_run] pair are skipped. *)
+
+val load_rows : string -> row list
+(** [load_rows path] parses [path] and extracts its rows.
+    @raise Triolet_obs.Json.Parse_error on malformed JSON. *)
+
+val compare_rows : ?threshold:float -> row list -> row list -> report
+(** Match rows by name and compute slowdown ratios.  [threshold]
+    (default 0.15) sets the regression cutoff: ratio > 1 + threshold. *)
+
+val compare_files : ?threshold:float -> string -> string -> report
+
+val pp_report : ?threshold:float -> Format.formatter -> report -> unit

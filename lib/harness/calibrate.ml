@@ -24,11 +24,7 @@ type style_times = {
    noisy; the minimum is the standard robust estimator for compute-bound
    kernels. *)
 let time f =
-  let once () =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
+  let once () = Triolet_runtime.Clock.duration f in
   let r, t1 = once () in
   let _, t2 = once () in
   let _, t3 = once () in

@@ -101,7 +101,8 @@ let pipeline ?(hint = Iter.par) (c : D.cutcp) =
   Iter.concat_map (grid_pts c) (hint atoms)
 
 let run_triolet ?hint (c : D.cutcp) : floatarray =
-  Iter.scatter_add ~size:(D.grid_points c) (pipeline ?hint c)
+  Triolet_obs.Obs.span ~name:"kernel.cutcp" (fun () ->
+      Iter.scatter_add ~size:(D.grid_points c) (pipeline ?hint c))
 
 (* ------------------------------------------------------------------ *)
 

@@ -29,10 +29,9 @@ let default_rates =
     cutcp_point_s = 6e-9;
   }
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* Monotonic durations: calibration rates must never go negative or get
+   skewed by an NTP step mid-measurement. *)
+let time f = Triolet_runtime.Clock.duration f
 
 (** Measure real per-operation rates by timing the reference kernels on
     small instances. *)

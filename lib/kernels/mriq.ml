@@ -88,8 +88,9 @@ let pipeline ?(hint = Iter.par) (d : D.mriq) =
   Iter.map voxel_sum (hint voxels)
 
 let run_triolet ?hint (d : D.mriq) : result =
-  let qr, qi = Iter.collect_float_pairs (pipeline ?hint d) in
-  { qr; qi }
+  Triolet_obs.Obs.span ~name:"kernel.mriq" (fun () ->
+      let qr, qi = Iter.collect_float_pairs (pipeline ?hint d) in
+      { qr; qi })
 
 (* ------------------------------------------------------------------ *)
 

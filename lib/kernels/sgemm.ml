@@ -50,7 +50,8 @@ let pipeline ?(alpha = 1.0) ?(hint = Iter2.par) (a : Matrix.t) (b : Matrix.t)
   hint (Iter2.map (fun (u, v) -> alpha *. Matrix.view_dot u v) zipped_ab)
 
 let run_triolet ?alpha ?hint (a : Matrix.t) (b : Matrix.t) : Matrix.t =
-  Iter2.build (pipeline ?alpha ?hint a b)
+  Triolet_obs.Obs.span ~name:"kernel.sgemm" (fun () ->
+      Iter2.build (pipeline ?alpha ?hint a b))
 
 (* Eden-style, following the paper's Eden code: arrays are kept "in
    chunked form" — boxed lists of unboxed row vectors — so tasks can be

@@ -150,16 +150,24 @@ let rr_pipeline ~bins (d : D.tpacf) =
   random_sets_pipeline (fun r -> correlation ~bins (self_pairs r)) d.D.randoms
 
 let run_triolet ~bins (d : D.tpacf) : result =
-  let dd = correlation ~bins (self_pairs d.D.observed) in
+  let module Obs = Triolet_obs.Obs in
+  (* One span per pipeline stage: DD is the shared-memory triangular
+     loop; DR and RR are distributed reductions over random sets. *)
+  let dd =
+    Obs.span ~name:"kernel.tpacf.dd" (fun () ->
+        correlation ~bins (self_pairs d.D.observed))
+  in
   let dr =
-    random_sets_correlation ~bins
-      (fun r -> correlation ~bins (cross_pairs d.D.observed r))
-      d.D.randoms
+    Obs.span ~name:"kernel.tpacf.dr" (fun () ->
+        random_sets_correlation ~bins
+          (fun r -> correlation ~bins (cross_pairs d.D.observed r))
+          d.D.randoms)
   in
   let rr =
-    random_sets_correlation ~bins
-      (fun r -> correlation ~bins (self_pairs r))
-      d.D.randoms
+    Obs.span ~name:"kernel.tpacf.rr" (fun () ->
+        random_sets_correlation ~bins
+          (fun r -> correlation ~bins (self_pairs r))
+          d.D.randoms)
   in
   { dd; dr; rr }
 

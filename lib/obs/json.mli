@@ -1,0 +1,38 @@
+(** Minimal JSON value type, printer and parser for the observability
+    layer: trace files, [BENCH_*.json] outputs, and the
+    [bench --compare] reader.  No external JSON library exists in the
+    sealed toolchain, so this is self-contained. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string}/{!of_file} with a message and offset. *)
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace).  Non-finite
+    numbers render as [null]. *)
+
+val to_file : string -> t -> unit
+(** {!to_string} plus a trailing newline, written atomically enough for
+    our purposes (single [output_string]). *)
+
+val of_string : string -> t
+(** Parse a complete JSON document; trailing non-whitespace is a
+    {!Parse_error}. *)
+
+val of_file : string -> t
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [[]] on non-arrays. *)
+
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option

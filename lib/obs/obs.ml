@@ -1,0 +1,289 @@
+(** Structured tracing and metrics.
+
+    The evaluation attributes distributed performance to where wall
+    time goes — serialization, shipping, node compute, receive/retry,
+    merge — so the runtime wraps those phases in *spans*: named
+    intervals with monotonic start/stop timestamps.  Spans record into
+    per-domain ring buffers (single writer each, no locks on the hot
+    path) and per-domain aggregate tables (count/total/max per name),
+    flushed on demand into a Chrome [trace_event]-format JSON file and
+    a flat per-phase table the bench harness embeds in its
+    [BENCH_*.json] outputs.
+
+    Disabled (the default) a {!span} costs one atomic load and a
+    branch, so instrumentation can stay in hot paths permanently.
+    Enabled, a span costs two monotonic clock reads and one ring slot.
+    When a ring fills, the *oldest* events are overwritten and counted
+    in {!dropped_spans} — tracing never crashes and never blocks the
+    traced code.
+
+    Timestamps come from [CLOCK_MONOTONIC] ({!monotonic_ns}), which is
+    immune to NTP steps and wall-clock adjustments; durations are
+    therefore always non-negative.  The runtime's timeout and recovery
+    paths use the same clock (see [Triolet_runtime.Clock]). *)
+
+external monotonic_ns : unit -> int = "triolet_obs_monotonic_ns" [@@noalloc]
+
+type event = {
+  ev_name : string;
+  ev_tid : int;  (** numeric id of the recording domain *)
+  ev_start_ns : int;  (** monotonic *)
+  ev_dur_ns : int;  (** 0-duration events are instants *)
+  ev_depth : int;  (** span nesting depth within the domain *)
+  ev_attrs : (string * string) list;
+}
+
+type agg = {
+  agg_count : int;
+  agg_total_ns : int;
+  agg_max_ns : int;
+}
+
+(* Mutable per-name cell of a per-domain aggregate table. *)
+type acc = {
+  mutable c_count : int;
+  mutable c_total_ns : int;
+  mutable c_max_ns : int;
+}
+
+(* One recording context per (domain, generation).  Only the owning
+   domain writes; readers ([events]/[aggregates]/[write_trace]) observe
+   plain fields racily, which is benign for the monitoring use: flush
+   when the traced region is quiescent for exact numbers. *)
+type ring = {
+  tid : int;
+  gen : int;
+  buf : event option array;
+  mutable head : int;  (** total events ever pushed; next slot is [head mod cap] *)
+  mutable depth : int;
+  aggs : (string, acc) Hashtbl.t;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let default_capacity = 65_536
+let capacity = Atomic.make default_capacity
+
+let set_ring_capacity n =
+  if n <= 0 then invalid_arg "Obs.set_ring_capacity";
+  Atomic.set capacity n
+
+(* Registry of every live ring, so the flusher can reach rings owned by
+   pool worker domains.  [generation] invalidates rings across a
+   {!reset}: a domain whose cached ring predates the reset lazily
+   re-registers a fresh one on its next record. *)
+let registry : ring list ref = ref []
+let registry_lock = Mutex.create ()
+let generation = Atomic.make 0
+
+let ring_key : ring option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let fresh_ring () =
+  {
+    tid = (Domain.self () :> int);
+    gen = Atomic.get generation;
+    buf = Array.make (Atomic.get capacity) None;
+    head = 0;
+    depth = 0;
+    aggs = Hashtbl.create 32;
+  }
+
+let get_ring () =
+  let slot = Domain.DLS.get ring_key in
+  match !slot with
+  | Some r when r.gen = Atomic.get generation -> r
+  | _ ->
+      let r = fresh_ring () in
+      Mutex.lock registry_lock;
+      registry := r :: !registry;
+      Mutex.unlock registry_lock;
+      slot := Some r;
+      r
+
+let reset () =
+  Atomic.incr generation;
+  Mutex.lock registry_lock;
+  registry := [];
+  Mutex.unlock registry_lock
+
+let push r ev =
+  let cap = Array.length r.buf in
+  r.buf.(r.head mod cap) <- Some ev;
+  r.head <- r.head + 1
+
+let bump_agg r name dur =
+  match Hashtbl.find_opt r.aggs name with
+  | Some c ->
+      c.c_count <- c.c_count + 1;
+      c.c_total_ns <- c.c_total_ns + dur;
+      if dur > c.c_max_ns then c.c_max_ns <- dur
+  | None ->
+      Hashtbl.add r.aggs name { c_count = 1; c_total_ns = dur; c_max_ns = dur }
+
+let span ~name ?(attrs = []) f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let r = get_ring () in
+    let depth = r.depth in
+    r.depth <- depth + 1;
+    let t0 = monotonic_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = monotonic_ns () - t0 in
+        r.depth <- depth;
+        push r
+          {
+            ev_name = name;
+            ev_tid = r.tid;
+            ev_start_ns = t0;
+            ev_dur_ns = dur;
+            ev_depth = depth;
+            ev_attrs = attrs;
+          };
+        bump_agg r name dur)
+      f
+  end
+
+let instant ~name ?(attrs = []) () =
+  if Atomic.get enabled_flag then begin
+    let r = get_ring () in
+    push r
+      {
+        ev_name = name;
+        ev_tid = r.tid;
+        ev_start_ns = monotonic_ns ();
+        ev_dur_ns = 0;
+        ev_depth = r.depth;
+        ev_attrs = attrs;
+      };
+    bump_agg r name 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flushing *)
+
+let rings () =
+  Mutex.lock registry_lock;
+  let rs = !registry in
+  Mutex.unlock registry_lock;
+  rs
+
+let ring_events r =
+  let cap = Array.length r.buf in
+  let head = r.head in
+  let n = min head cap in
+  let first = head - n in
+  List.filter_map
+    (fun i -> r.buf.((first + i) mod cap))
+    (List.init n Fun.id)
+
+let events () =
+  List.concat_map ring_events (rings ())
+  |> List.sort (fun a b -> compare a.ev_start_ns b.ev_start_ns)
+
+let dropped_spans () =
+  List.fold_left
+    (fun acc r -> acc + max 0 (r.head - Array.length r.buf))
+    0 (rings ())
+
+let aggregates () =
+  let merged : (string, acc) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      Hashtbl.iter
+        (fun name c ->
+          match Hashtbl.find_opt merged name with
+          | Some m ->
+              m.c_count <- m.c_count + c.c_count;
+              m.c_total_ns <- m.c_total_ns + c.c_total_ns;
+              if c.c_max_ns > m.c_max_ns then m.c_max_ns <- c.c_max_ns
+          | None ->
+              Hashtbl.add merged name
+                {
+                  c_count = c.c_count;
+                  c_total_ns = c.c_total_ns;
+                  c_max_ns = c.c_max_ns;
+                })
+        r.aggs)
+    (rings ());
+  Hashtbl.fold
+    (fun name c acc ->
+      ( name,
+        {
+          agg_count = c.c_count;
+          agg_total_ns = c.c_total_ns;
+          agg_max_ns = c.c_max_ns;
+        } )
+      :: acc)
+    merged []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let agg_total name =
+  match List.assoc_opt name (aggregates ()) with
+  | Some a -> a.agg_total_ns
+  | None -> 0
+
+let pp_aggregates fmt aggs =
+  Format.fprintf fmt "%-28s %10s %14s %14s@\n" "phase" "count" "total(ms)"
+    "max(ms)";
+  List.iter
+    (fun (name, a) ->
+      Format.fprintf fmt "%-28s %10d %14.3f %14.3f@\n" name a.agg_count
+        (float_of_int a.agg_total_ns /. 1e6)
+        (float_of_int a.agg_max_ns /. 1e6))
+    aggs
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export *)
+
+let trace_json () =
+  let evs = events () in
+  let event_json e =
+    let base =
+      [
+        ("name", Json.Str e.ev_name);
+        ("cat", Json.Str "triolet");
+        ("ph", Json.Str (if e.ev_dur_ns = 0 then "i" else "X"));
+        ("ts", Json.Num (float_of_int e.ev_start_ns /. 1e3));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num (float_of_int e.ev_tid));
+      ]
+    in
+    let dur =
+      if e.ev_dur_ns = 0 then [ ("s", Json.Str "t") ]
+      else [ ("dur", Json.Num (float_of_int e.ev_dur_ns /. 1e3)) ]
+    in
+    let args =
+      let attrs =
+        ("depth", Json.Num (float_of_int e.ev_depth))
+        :: List.map (fun (k, v) -> (k, Json.Str v)) e.ev_attrs
+      in
+      [ ("args", Json.Obj attrs) ]
+    in
+    Json.Obj (base @ dur @ args)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map event_json evs));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("dropped_spans", Json.Num (float_of_int (dropped_spans ()))) ]);
+    ]
+
+let write_trace path = Json.to_file path (trace_json ())
+
+let aggregates_json () =
+  Json.Arr
+    (List.map
+       (fun (name, a) ->
+         Json.Obj
+           [
+             ("name", Json.Str name);
+             ("count", Json.Num (float_of_int a.agg_count));
+             ("total_ns", Json.Num (float_of_int a.agg_total_ns));
+             ("max_ns", Json.Num (float_of_int a.agg_max_ns));
+           ])
+       (aggregates ()))

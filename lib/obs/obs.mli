@@ -1,0 +1,75 @@
+(** Low-overhead structured tracing + metrics.
+
+    {!span} wraps a phase of execution in a named interval with
+    monotonic timestamps, recorded into per-domain ring buffers and
+    per-phase aggregates.  Tracing is globally disabled by default: a
+    disabled span costs one atomic load and a branch, so call sites
+    stay in hot paths permanently.  See DESIGN.md, "Observability". *)
+
+external monotonic_ns : unit -> int = "triolet_obs_monotonic_ns" [@@noalloc]
+(** [CLOCK_MONOTONIC] in nanoseconds: never steps with NTP or
+    wall-clock changes, so differences are always non-negative.  All
+    span timestamps and runtime deadline arithmetic use this clock. *)
+
+type event = {
+  ev_name : string;
+  ev_tid : int;  (** numeric id of the recording domain *)
+  ev_start_ns : int;  (** monotonic *)
+  ev_dur_ns : int;  (** 0 for instants *)
+  ev_depth : int;  (** nesting depth within the recording domain *)
+  ev_attrs : (string * string) list;
+}
+
+type agg = {
+  agg_count : int;
+  agg_total_ns : int;
+  agg_max_ns : int;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val set_ring_capacity : int -> unit
+(** Capacity (events) of rings created after this call; existing rings
+    keep theirs until the next {!reset}.  Default 65536. *)
+
+val reset : unit -> unit
+(** Discard all recorded events, aggregates and drop counts.  Call
+    between runs while the traced region is quiescent. *)
+
+val span : name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f], recording a completed interval around it
+    (exception-safe: the interval closes even if [f] raises).  No-op
+    beyond one atomic load when tracing is disabled. *)
+
+val instant : name:string -> ?attrs:(string * string) list -> unit -> unit
+(** Zero-duration marker event (steals, splits, retries). *)
+
+val events : unit -> event list
+(** Every retained event across all domains, oldest first.  Rings drop
+    their oldest events on overflow — see {!dropped_spans}. *)
+
+val dropped_spans : unit -> int
+(** Events overwritten by ring wraparound since the last {!reset}. *)
+
+val aggregates : unit -> (string * agg) list
+(** Per-phase totals (sorted by name), merged across domains.  Unlike
+    {!events} these are complete: wraparound never loses aggregate
+    counts. *)
+
+val agg_total : string -> int
+(** Total nanoseconds recorded under one phase name; 0 if absent. *)
+
+val pp_aggregates : Format.formatter -> (string * agg) list -> unit
+
+val trace_json : unit -> Json.t
+(** The retained events as a Chrome [trace_event] document
+    ([chrome://tracing] / Perfetto loadable): complete "X" events with
+    microsecond timestamps, one [tid] per domain. *)
+
+val write_trace : string -> unit
+
+val aggregates_json : unit -> Json.t
+(** The per-phase table as a JSON array of
+    [{name, count, total_ns, max_ns}] rows. *)

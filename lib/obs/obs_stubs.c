@@ -1,0 +1,17 @@
+/* Monotonic clock for span timestamps.
+ *
+ * CLOCK_MONOTONIC never steps backwards or jumps with NTP/wall-clock
+ * adjustments, so span durations and deadline arithmetic computed from
+ * it are always non-negative — the property the tracing layer and the
+ * runtime's timeout paths rely on (Unix.gettimeofday has neither). */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value triolet_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

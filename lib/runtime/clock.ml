@@ -1,4 +1,4 @@
-(** Clocks for scheduler accounting. *)
+(** Clocks for scheduler accounting and timeout arithmetic. *)
 
 external thread_cputime_ns : unit -> int = "triolet_thread_cputime_ns"
   [@@noalloc]
@@ -8,3 +8,18 @@ external thread_cputime_ns : unit -> int = "triolet_thread_cputime_ns"
     done even when the pool's domains timeshare fewer physical cores —
     the situation on this repo's 1-core reference host (DESIGN.md,
     Substitutions). *)
+
+external monotonic_ns : unit -> int = "triolet_monotonic_ns" [@@noalloc]
+(** [CLOCK_MONOTONIC] in nanoseconds.  The only clock allowed in
+    timeout-deadline arithmetic and duration measurement: the wall
+    clock ([gettimeofday]) can step under NTP adjustment, which would
+    spuriously expire (or indefinitely extend) deadlines and report
+    negative durations.  The [triolet analyze] lint gate rejects
+    wall-clock calls in timing paths for exactly this reason. *)
+
+(** [duration f] runs [f] and returns its result with the monotonic
+    wall-clock seconds it took (always non-negative). *)
+let duration f =
+  let t0 = monotonic_ns () in
+  let r = f () in
+  (r, float_of_int (monotonic_ns () - t0) /. 1e9)

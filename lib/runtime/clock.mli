@@ -1,0 +1,23 @@
+(** Clocks for scheduler accounting and timeout arithmetic.
+
+    Two distinct clocks for two distinct questions:
+
+    - {!thread_cputime_ns}: how much work did *this thread* do?
+      ([CLOCK_THREAD_CPUTIME_ID]; stops while descheduled.)
+    - {!monotonic_ns}: how much real time elapsed?  ([CLOCK_MONOTONIC];
+      immune to NTP steps, unlike the [gettimeofday] wall clock.)
+
+    The wall clock is deliberately absent: every deadline and duration
+    in the runtime must use {!monotonic_ns}, and the [triolet analyze]
+    lint gate enforces it textually. *)
+
+external thread_cputime_ns : unit -> int = "triolet_thread_cputime_ns"
+  [@@noalloc]
+(** Per-thread CPU time in nanoseconds (worker busy-time accounting). *)
+
+external monotonic_ns : unit -> int = "triolet_monotonic_ns" [@@noalloc]
+(** Monotonic time in nanoseconds; differences are always
+    non-negative. *)
+
+val duration : (unit -> 'a) -> 'a * float
+(** [duration f] is [f ()] paired with the monotonic seconds it took. *)

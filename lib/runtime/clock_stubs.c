@@ -19,3 +19,16 @@ CAMLprim value triolet_thread_cputime_ns(value unit)
   (void)unit;
   return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
 }
+
+/* Monotonic clock for deadline arithmetic and duration measurement.
+ * Unlike Unix.gettimeofday (the wall clock), CLOCK_MONOTONIC never
+ * steps backwards or jumps under NTP adjustment, so timeouts computed
+ * from it cannot spuriously expire (or never expire) and measured
+ * durations are always non-negative. */
+CAMLprim value triolet_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

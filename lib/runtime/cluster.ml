@@ -43,6 +43,18 @@ let log_src = Logs.Src.create "triolet.cluster" ~doc:"Cluster runtime"
 module Log = (val Logs.src_log log_src)
 module Codec = Triolet_base.Codec
 module Payload = Triolet_base.Payload
+module Obs = Triolet_obs.Obs
+
+(* Span taxonomy (DESIGN.md, Observability): every wall-clock phase of
+   a distributed [run] is wrapped so a trace accounts for ~all of the
+   call's time.  [cluster.serialize] covers payload construction and
+   encoding on both sides; [cluster.send]/[cluster.recv] the mailbox
+   transfers (the recv side includes decode and, under faults, the
+   timeout wait); [cluster.compute] the node work; [cluster.merge] the
+   final fold.  [cluster.retry]/[cluster.recovery] only appear on the
+   fault path and overlap the others, so they are excluded from
+   phase-sum coverage checks. *)
+let node_attr node = [ ("node", string_of_int node) ]
 
 type config = {
   nodes : int;
@@ -118,28 +130,41 @@ let run_clean pool cfg ~scatter ~work ~result_codec ~merge ~init =
   let max_msg = ref 0 in
   (* Scatter: main serializes each node's slice and posts it. *)
   for node = 0 to workers - 1 do
-    let payload = scatter node in
-    let bytes = Codec.to_bytes Payload.codec payload in
+    let bytes =
+      Obs.span ~name:"cluster.serialize" ~attrs:(node_attr node) (fun () ->
+          let payload = scatter node in
+          Codec.to_bytes Payload.codec payload)
+    in
     max_msg := max !max_msg (Bytes.length bytes);
     scatter_bytes := !scatter_bytes + Bytes.length bytes;
     incr scatter_msgs;
     Log.debug (fun m -> m "scatter: %d bytes to node %d" (Bytes.length bytes) node);
-    Mailbox.send mailboxes.(node) bytes
+    Obs.span ~name:"cluster.send" ~attrs:(node_attr node) (fun () ->
+        Mailbox.send mailboxes.(node) bytes)
   done;
   Stats.ensure_workers (Pool.size pool);
   let before_work = Stats.snapshot () in
   (* Node side: decode, compute, reply.  Nodes run in sequence in this
      process; the pool provides the intra-node parallelism. *)
   for node = 0 to workers - 1 do
-    let bytes = Mailbox.recv mailboxes.(node) in
-    let payload = Codec.of_bytes Payload.codec bytes in
-    let r = work ~node ~pool payload in
-    let reply = Codec.to_bytes result_codec r in
+    let payload =
+      Obs.span ~name:"cluster.recv" ~attrs:(node_attr node) (fun () ->
+          Codec.of_bytes Payload.codec (Mailbox.recv mailboxes.(node)))
+    in
+    let r =
+      Obs.span ~name:"cluster.compute" ~attrs:(node_attr node) (fun () ->
+          work ~node ~pool payload)
+    in
+    let reply =
+      Obs.span ~name:"cluster.serialize" ~attrs:(node_attr node) (fun () ->
+          Codec.to_bytes result_codec r)
+    in
     Log.debug (fun m -> m "gather: %d bytes from node %d" (Bytes.length reply) node);
     max_msg := max !max_msg (Bytes.length reply);
     gather_bytes := !gather_bytes + Bytes.length reply;
     incr gather_msgs;
-    Mailbox.send return_box reply
+    Obs.span ~name:"cluster.send" ~attrs:(node_attr node) (fun () ->
+        Mailbox.send return_box reply)
   done;
   (* Intra-node scheduling visibility: how evenly the pool's workers
      shared the nodes' work, and how much adaptive splitting/stealing
@@ -157,15 +182,18 @@ let run_clean pool cfg ~scatter ~work ~result_codec ~merge ~init =
      is the worker tag. *)
   let results = Array.make workers None in
   for w = 0 to workers - 1 do
-    let reply = Mailbox.recv return_box in
-    results.(w) <- Some (Codec.of_bytes result_codec reply)
+    results.(w) <-
+      Some
+        (Obs.span ~name:"cluster.recv" ~attrs:(node_attr w) (fun () ->
+             Codec.of_bytes result_codec (Mailbox.recv return_box)))
   done;
   let acc = ref init in
-  for w = 0 to workers - 1 do
-    match results.(w) with
-    | Some r -> acc := merge !acc r
-    | None -> assert false
-  done;
+  Obs.span ~name:"cluster.merge" (fun () ->
+      for w = 0 to workers - 1 do
+        match results.(w) with
+        | Some r -> acc := merge !acc r
+        | None -> assert false
+      done);
   ( !acc,
     {
       clean_report with
@@ -219,7 +247,10 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
   in
   let send_scatter ~target wk =
     seq.(wk) <- seq.(wk) + 1;
-    let bytes = Codec.to_bytes scatter_codec (wk, seq.(wk), payloads.(wk)) in
+    let bytes =
+      Obs.span ~name:"cluster.serialize" ~attrs:(node_attr wk) (fun () ->
+          Codec.to_bytes scatter_codec (wk, seq.(wk), payloads.(wk)))
+    in
     max_msg := max !max_msg (Bytes.length bytes);
     scatter_bytes := !scatter_bytes + Bytes.length bytes;
     incr scatter_msgs;
@@ -227,7 +258,8 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
     Log.debug (fun m ->
         m "scatter: %d bytes for worker %d -> node %d (attempt %d)"
           (Bytes.length bytes) wk target attempts.(wk));
-    Fault.send fault ~link:(Fault.To_node target) mailboxes.(target) bytes
+    Obs.span ~name:"cluster.send" ~attrs:(node_attr target) (fun () ->
+        Fault.send fault ~link:(Fault.To_node target) mailboxes.(target) bytes)
   in
   (* Drive one node execution attempt: node [target] tries to pick up a
      task from its mailbox, compute, and reply.  Any failure (lost or
@@ -235,7 +267,10 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
      reply; the gather loop's timeout owns recovery. *)
   let run_attempt target =
     if not (Fault.is_crashed fault target) then
-      match Mailbox.recv_timeout mailboxes.(target) spec.Fault.base_timeout with
+      match
+        Obs.span ~name:"cluster.recv" ~attrs:(node_attr target) (fun () ->
+            Mailbox.recv_timeout mailboxes.(target) spec.Fault.base_timeout)
+      with
       | `Timeout | `Closed -> ()
       | `Msg bytes -> (
           match Codec.of_bytes scatter_codec bytes with
@@ -250,7 +285,10 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
               else begin
                 (* [work] sees the logical worker id whose slice this
                    is — stable across re-execution on another node. *)
-                match work ~node:wk ~pool payload with
+                match
+                  Obs.span ~name:"cluster.compute" ~attrs:(node_attr wk)
+                    (fun () -> work ~node:wk ~pool payload)
+                with
                 | exception e ->
                     (* An exception inside [work] is a node failure for
                        this attempt; it is re-raised only once recovery
@@ -272,13 +310,17 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
                       if crashed_after then Mailbox.close mailboxes.(target)
                       else begin
                         let reply =
-                          Codec.to_bytes reply_codec (wk, sq, r)
+                          Obs.span ~name:"cluster.serialize"
+                            ~attrs:(node_attr wk) (fun () ->
+                              Codec.to_bytes reply_codec (wk, sq, r))
                         in
                         max_msg := max !max_msg (Bytes.length reply);
                         gather_bytes := !gather_bytes + Bytes.length reply;
                         incr gather_msgs;
-                        Fault.send fault ~link:(Fault.From_node target)
-                          return_box reply
+                        Obs.span ~name:"cluster.send" ~attrs:(node_attr target)
+                          (fun () ->
+                            Fault.send fault ~link:(Fault.From_node target)
+                              return_box reply)
                       end
                     end
               end)
@@ -309,10 +351,17 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
      task with capped exponential backoff. *)
   let outstanding = ref workers in
   let round = ref 0 in
+  (* Monotonic timestamp: recovery time must be a duration, so it is
+     measured on the monotonic clock — a wall-clock (gettimeofday)
+     difference can come out negative or wildly large when NTP steps
+     the clock mid-recovery, which is precisely when a real deployment
+     is under stress. *)
   let recovery_started = ref None in
   while !outstanding > 0 do
     match
-      Mailbox.recv_timeout return_box (Fault.timeout_for spec ~attempt:!round)
+      Obs.span ~name:"cluster.recv" (fun () ->
+          Mailbox.recv_timeout return_box
+            (Fault.timeout_for spec ~attempt:!round))
     with
     | `Closed -> assert false (* the main side never closes its own box *)
     | `Msg bytes -> (
@@ -338,27 +387,34 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
             end)
     | `Timeout ->
         if !recovery_started = None then
-          recovery_started := Some (Unix.gettimeofday ());
+          recovery_started := Some (Clock.monotonic_ns ());
         incr round;
-        for wk = 0 to workers - 1 do
-          if results.(wk) = None then begin
-            if attempts.(wk) >= spec.Fault.max_attempts then begin
-              match failed_exn.(wk) with
-              | Some e -> raise e
-              | None ->
-                  raise
-                    (Recovery_exhausted { worker = wk; attempts = attempts.(wk) })
-            end;
-            incr retries;
-            Stats.record_retry ();
-            let target =
-              if Fault.is_crashed fault wk then surviving_node ~for_worker:wk
-              else wk
-            in
-            send_scatter ~target wk;
-            run_attempt target
-          end
-        done
+        Obs.span ~name:"cluster.retry"
+          ~attrs:[ ("round", string_of_int !round) ]
+          (fun () ->
+            for wk = 0 to workers - 1 do
+              if results.(wk) = None then begin
+                if attempts.(wk) >= spec.Fault.max_attempts then begin
+                  match failed_exn.(wk) with
+                  | Some e -> raise e
+                  | None ->
+                      raise
+                        (Recovery_exhausted
+                           { worker = wk; attempts = attempts.(wk) })
+                end;
+                incr retries;
+                Stats.record_retry ();
+                Obs.instant ~name:"cluster.retry.reissue"
+                  ~attrs:(node_attr wk) ();
+                let target =
+                  if Fault.is_crashed fault wk then
+                    surviving_node ~for_worker:wk
+                  else wk
+                in
+                send_scatter ~target wk;
+                run_attempt target
+              end
+            done)
   done;
   (* Drain replies that arrived after the last worker resolved — the
      duplicates and superseded-attempt replies the retry machinery
@@ -382,16 +438,18 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
     match !recovery_started with
     | None -> 0
     | Some t0 ->
-        let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        (* Monotonic difference: non-negative by construction. *)
+        let ns = Clock.monotonic_ns () - t0 in
         Stats.record_recovery_ns ns;
         ns
   in
   let acc = ref init in
-  for w = 0 to workers - 1 do
-    match results.(w) with
-    | Some r -> acc := merge !acc r
-    | None -> assert false
-  done;
+  Obs.span ~name:"cluster.merge" (fun () ->
+      for w = 0 to workers - 1 do
+        match results.(w) with
+        | Some r -> acc := merge !acc r
+        | None -> assert false
+      done);
   let c = Fault.counters fault in
   ( !acc,
     {

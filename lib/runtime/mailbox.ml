@@ -96,8 +96,15 @@ let recv t =
    delivery order, so fault-injected runs stay deterministic. *)
 let poll_interval = 0.0002
 
+(* Deadline arithmetic uses the monotonic clock, never the wall clock:
+   an NTP step forward would spuriously expire a gettimeofday-based
+   deadline (firing the retry machinery for no reason), and a step
+   backward would leave a receiver polling long past its timeout.
+   CLOCK_MONOTONIC cannot step, so the deadline means what it says. *)
 let recv_timeout t timeout =
-  let deadline = Unix.gettimeofday () +. timeout in
+  let deadline =
+    Clock.monotonic_ns () + int_of_float (timeout *. 1e9)
+  in
   let rec loop () =
     Mutex.lock t.lock;
     if not (Queue.is_empty t.q) then begin
@@ -109,7 +116,7 @@ let recv_timeout t timeout =
       Mutex.unlock t.lock;
       `Closed
     end
-    else if Unix.gettimeofday () >= deadline then begin
+    else if Clock.monotonic_ns () >= deadline then begin
       (* The receiver has given up: any delayed messages now "arrive",
          visible to the *next* receive — a late reply crossing a retry
          on the wire. *)

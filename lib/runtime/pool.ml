@@ -28,6 +28,13 @@
 let log_src = Logs.Src.create "triolet.pool" ~doc:"Work-stealing pool"
 
 module Log = (val Logs.src_log log_src)
+module Obs = Triolet_obs.Obs
+
+(* Scheduler span taxonomy: [pool.chunk] wraps each grain-sized chunk
+   execution (so a trace shows which worker ran what, when); splits and
+   steals are instants ([pool.split]/[pool.steal]) since they have no
+   meaningful duration.  All are no-ops when tracing is disabled. *)
+let worker_attr id = [ ("worker", string_of_int id) ]
 
 type t = {
   n : int;  (** worker count, including the submitting domain *)
@@ -214,7 +221,10 @@ let parallel_range t ?grain ~lo ~hi ~f ~merge ~init () =
             Stats.record_chunk ~worker:id ();
             let t0 = now_ns () in
             (try
-               let v = f off len in
+               let v =
+                 Obs.span ~name:"pool.chunk" ~attrs:(worker_attr id)
+                   (fun () -> f off len)
+               in
                acc :=
                  (match !acc with
                  | None -> Some v
@@ -233,6 +243,7 @@ let parallel_range t ?grain ~lo ~hi ~f ~merge ~init () =
             let mid = rlo + (len / 2) in
             Wsdeque.push dq (mid, rhi);
             Stats.record_split ~worker:id ();
+            Obs.instant ~name:"pool.split" ~attrs:(worker_attr id) ();
             work rlo mid
           end
           else begin
@@ -256,6 +267,7 @@ let parallel_range t ?grain ~lo ~hi ~f ~merge ~init () =
               match Wsdeque.steal deques.((id + k) mod t.n) with
               | Wsdeque.Stolen (rlo, rhi) ->
                   Stats.record_steal ~worker:id ();
+                  Obs.instant ~name:"pool.steal" ~attrs:(worker_attr id) ();
                   stolen := true;
                   work rlo rhi
               | Wsdeque.Empty | Wsdeque.Retry -> ()
@@ -307,7 +319,10 @@ let parallel_chunks t ~chunks ~f ~merge ~init =
             Stats.record_chunk ~worker:id ();
             let t0 = now_ns () in
             (try
-               let v = f off len in
+               let v =
+                 Obs.span ~name:"pool.chunk" ~attrs:(worker_attr id)
+                   (fun () -> f off len)
+               in
                acc :=
                  (match !acc with
                  | None -> Some v
@@ -328,6 +343,7 @@ let parallel_chunks t ~chunks ~f ~merge ~init =
               match Wsdeque.steal deques.((id + k) mod t.n) with
               | Wsdeque.Stolen c ->
                   Stats.record_steal ~worker:id ();
+                  Obs.instant ~name:"pool.steal" ~attrs:(worker_attr id) ();
                   stolen := true;
                   execute c
               | Wsdeque.Empty | Wsdeque.Retry -> ()

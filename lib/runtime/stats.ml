@@ -136,7 +136,24 @@ let record_corrupt_drop () = add corrupt_drops 1
 let record_crash () = add crashed_nodes 1
 let record_recovery_ns ns = add recovery_ns ns
 
-let snapshot () =
+(* Coherence model.  A snapshot reads each atomic independently — there
+   is no global lock, so it is not a single consistent cut: a snapshot
+   taken while workers run may pair counter A's value from slightly
+   before counter B's.  What IS guaranteed, and what every consumer
+   relies on, is per-counter monotonicity: raw counters only ever grow,
+   so for two snapshots s1-then-s2 every field of [diff s2 s1] is
+   non-negative, and so is every field of [snapshot ()] itself.
+
+   That guarantee is why [reset] does NOT zero the raw counters: a
+   concurrent worker's fetch_and_add interleaving with a field-by-field
+   zeroing sweep would produce exactly the torn state the model
+   forbids (half the fields zeroed, cross-field totals absurd, and
+   in-flight [measure] calls seeing *negative* deltas).  Instead,
+   [reset] captures the current raw values as a baseline and [snapshot]
+   subtracts that baseline — one atomic ref store, no window in which
+   any counter moves backwards. *)
+
+let raw_snapshot () =
   {
     messages = Atomic.get messages;
     bytes_sent = Atomic.get bytes_sent;
@@ -164,29 +181,6 @@ let snapshot () =
         (Atomic.get workers);
   }
 
-let reset () =
-  Atomic.set messages 0;
-  Atomic.set bytes_sent 0;
-  Atomic.set chunks_run 0;
-  Atomic.set steals 0;
-  Atomic.set splits 0;
-  Atomic.set failed_steals 0;
-  Atomic.set tasks_spawned 0;
-  Atomic.set faults_injected 0;
-  Atomic.set retries 0;
-  Atomic.set redeliveries 0;
-  Atomic.set corrupt_drops 0;
-  Atomic.set crashed_nodes 0;
-  Atomic.set recovery_ns 0;
-  Array.iter
-    (fun c ->
-      Atomic.set c.c_chunks 0;
-      Atomic.set c.c_splits 0;
-      Atomic.set c.c_steals 0;
-      Atomic.set c.c_failed_steals 0;
-      Atomic.set c.c_busy_ns 0)
-    (Atomic.get workers)
-
 let worker_sub a b =
   {
     w_chunks = a.w_chunks - b.w_chunks;
@@ -199,37 +193,65 @@ let worker_sub a b =
 let zero_worker =
   { w_chunks = 0; w_splits = 0; w_steals = 0; w_failed_steals = 0; w_busy_ns = 0 }
 
-(** Counter deltas around running [f].  Worker slots that appear during
-    [f] (a wider pool registering) delta against zero. *)
+(** [diff a b] is the per-field difference [a - b].  Worker slots
+    present in [a] but not [b] (a wider pool registered in between)
+    delta against zero. *)
+let diff a b =
+  {
+    messages = a.messages - b.messages;
+    bytes_sent = a.bytes_sent - b.bytes_sent;
+    chunks_run = a.chunks_run - b.chunks_run;
+    steals = a.steals - b.steals;
+    splits = a.splits - b.splits;
+    failed_steals = a.failed_steals - b.failed_steals;
+    tasks_spawned = a.tasks_spawned - b.tasks_spawned;
+    faults_injected = a.faults_injected - b.faults_injected;
+    retries = a.retries - b.retries;
+    redeliveries = a.redeliveries - b.redeliveries;
+    corrupt_drops = a.corrupt_drops - b.corrupt_drops;
+    crashed_nodes = a.crashed_nodes - b.crashed_nodes;
+    recovery_ns = a.recovery_ns - b.recovery_ns;
+    per_worker =
+      Array.mapi
+        (fun i wa ->
+          let wb =
+            if i < Array.length b.per_worker then b.per_worker.(i)
+            else zero_worker
+          in
+          worker_sub wa wb)
+        a.per_worker;
+  }
+
+let zero =
+  {
+    messages = 0;
+    bytes_sent = 0;
+    chunks_run = 0;
+    steals = 0;
+    splits = 0;
+    failed_steals = 0;
+    tasks_spawned = 0;
+    faults_injected = 0;
+    retries = 0;
+    redeliveries = 0;
+    corrupt_drops = 0;
+    crashed_nodes = 0;
+    recovery_ns = 0;
+    per_worker = [||];
+  }
+
+let baseline = Atomic.make zero
+
+let snapshot () = diff (raw_snapshot ()) (Atomic.get baseline)
+
+let reset () = Atomic.set baseline (raw_snapshot ())
+
+(** Counter deltas around running [f]. *)
 let measure f =
-  let before = snapshot () in
+  let before = raw_snapshot () in
   let v = f () in
-  let after = snapshot () in
-  ( v,
-    {
-      messages = after.messages - before.messages;
-      bytes_sent = after.bytes_sent - before.bytes_sent;
-      chunks_run = after.chunks_run - before.chunks_run;
-      steals = after.steals - before.steals;
-      splits = after.splits - before.splits;
-      failed_steals = after.failed_steals - before.failed_steals;
-      tasks_spawned = after.tasks_spawned - before.tasks_spawned;
-      faults_injected = after.faults_injected - before.faults_injected;
-      retries = after.retries - before.retries;
-      redeliveries = after.redeliveries - before.redeliveries;
-      corrupt_drops = after.corrupt_drops - before.corrupt_drops;
-      crashed_nodes = after.crashed_nodes - before.crashed_nodes;
-      recovery_ns = after.recovery_ns - before.recovery_ns;
-      per_worker =
-        Array.mapi
-          (fun i a ->
-            let b =
-              if i < Array.length before.per_worker then before.per_worker.(i)
-              else zero_worker
-            in
-            worker_sub a b)
-          after.per_worker;
-    } )
+  let after = raw_snapshot () in
+  (v, diff after before)
 
 (** Largest per-worker busy time divided by the mean: 1.0 is perfectly
     balanced; [workers] when one worker did everything.  [nan] when no

@@ -58,12 +58,38 @@ val record_corrupt_drop : unit -> unit
 val record_crash : unit -> unit
 val record_recovery_ns : int -> unit
 
+(** {1 Snapshots and deltas}
+
+    A snapshot reads each atomic independently: it is not a single
+    consistent cut across counters, but every counter is monotone, so
+    each field of a later-minus-earlier {!diff} is non-negative — and
+    so is each field of {!snapshot} itself.  {!reset} captures a
+    baseline that {!snapshot} subtracts rather than zeroing the live
+    counters, so a reset concurrent with running workers can never
+    produce torn half-zeroed state or negative deltas in an in-flight
+    {!measure}. *)
+
 val snapshot : unit -> snapshot
+(** Counters accumulated since the last {!reset} (process start if
+    none).  Every field non-negative. *)
+
 val reset : unit -> unit
+(** Re-baseline: subsequent {!snapshot}s count from here.  Safe to call
+    while workers are recording (one atomic store). *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff a b] is the per-field difference [a - b]; worker slots absent
+    in [b] delta against zero.  Non-negative whenever [a] was taken
+    after [b]. *)
+
+val zero : snapshot
+(** The all-zero snapshot ([diff s s] without the array allocation). *)
 
 val measure : (unit -> 'a) -> 'a * snapshot
 (** [measure f] runs [f] and returns its result with the counter deltas
-    incurred during the call, including per-worker deltas. *)
+    incurred during the call, including per-worker deltas.  Unaffected
+    by a concurrent {!reset} (it deltas raw counters, not baselined
+    snapshots). *)
 
 val imbalance : snapshot -> float
 (** Max per-worker busy time over the mean (workers with zero busy time

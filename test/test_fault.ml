@@ -104,11 +104,13 @@ let prop_plain_codec_roundtrip_still_exact =
 
 let test_recv_timeout_empty () =
   let mb = Mailbox.create () in
-  let t0 = Unix.gettimeofday () in
+  (* Measure on the same monotonic clock the deadline arithmetic uses:
+     the wall clock could step mid-wait and fail this spuriously. *)
+  let t0 = Clock.monotonic_ns () in
   (match Mailbox.recv_timeout mb 0.01 with
   | `Timeout -> ()
   | `Msg _ | `Closed -> Alcotest.fail "expected timeout");
-  let waited = Unix.gettimeofday () -. t0 in
+  let waited = float_of_int (Clock.monotonic_ns () - t0) /. 1e9 in
   check_bool "waited at least the timeout" true (waited >= 0.009)
 
 let test_recv_timeout_message () =
