@@ -485,7 +485,7 @@ let family_names = List.map (fun (n, _, _) -> n) families
 (* Each family runs with tracing on and freshly baselined counters, so
    its BENCH file carries the phase breakdown and counter deltas of
    exactly that family's runs. *)
-let run_family ~quick ~out_dir (name, desc, body) =
+let run_family ~quick ~out_dir ~suffix (name, desc, body) =
   Printf.printf "\n-- %s --\n%!" desc;
   family_rows := [];
   Obs.reset ();
@@ -507,7 +507,7 @@ let run_family ~quick ~out_dir (name, desc, body) =
         ("dropped_spans", Json.Num (float_of_int (Obs.dropped_spans ())));
       ]
   in
-  let path = Filename.concat out_dir ("BENCH_" ^ name ^ ".json") in
+  let path = Filename.concat out_dir ("BENCH_" ^ name ^ suffix ^ ".json") in
   Json.to_file path doc;
   Printf.printf "  [%d rows, wall %.1f ms -> %s]\n%!"
     (List.length !family_rows)
@@ -530,11 +530,12 @@ type opts = {
   json : string option;
   out_dir : string;
   list : bool;
+  backend : [ `Inprocess | `Process ];
 }
 
 let usage_msg =
   "usage: bench/main.exe [quick|--quick] [--list] [--filter FAMILY]\n\
-  \       [--json FILE] [--out-dir DIR]\n\
+  \       [--json FILE] [--out-dir DIR] [--backend inprocess|process]\n\
    families: "
   ^ String.concat ", " family_names
   ^ "\n"
@@ -556,10 +557,22 @@ let parse_argv () =
     | [ "--json" ] -> argv_error "--json requires a file name"
     | "--out-dir" :: d :: tl -> go { o with out_dir = d } tl
     | [ "--out-dir" ] -> argv_error "--out-dir requires a directory"
+    | "--backend" :: "inprocess" :: tl -> go { o with backend = `Inprocess } tl
+    | "--backend" :: "process" :: tl -> go { o with backend = `Process } tl
+    | "--backend" :: b :: _ ->
+        argv_error (Printf.sprintf "unknown backend %S" b)
+    | [ "--backend" ] -> argv_error "--backend requires inprocess or process"
     | a :: _ -> argv_error (Printf.sprintf "unknown argument %S" a)
   in
   go
-    { quick = false; filter = None; json = None; out_dir = "."; list = false }
+    {
+      quick = false;
+      filter = None;
+      json = None;
+      out_dir = ".";
+      list = false;
+      backend = `Inprocess;
+    }
     (List.tl (Array.to_list Sys.argv))
 
 let () =
@@ -568,12 +581,48 @@ let () =
   else begin
     if o.out_dir <> "." && not (Sys.file_exists o.out_dir) then
       Sys.mkdir o.out_dir 0o755;
+    (* Results are written per backend: the in-process transport keeps
+       the historical BENCH_<family>.json names (so existing baselines
+       stay comparable), the process transport writes
+       BENCH_<family>.process.json. *)
+    let suffix =
+      match o.backend with `Inprocess -> "" | `Process -> ".process"
+    in
+    (match o.backend with
+    | `Inprocess -> ()
+    | `Process ->
+        (* Must run before any pool exists: forking requires that no
+           domain was ever spawned in this process. *)
+        Unix.putenv "TRIOLET_BACKEND" "process";
+        Triolet.Exec.set_ambient
+          {
+            (Triolet.Exec.current ()) with
+            Triolet.Exec.backend = Triolet_runtime.Cluster.Process;
+          });
     print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
     let selected =
       match o.filter with
       | None -> families
       | Some f -> List.filter (fun (n, _, _) -> n = f) families
     in
-    List.iter (run_family ~quick:o.quick ~out_dir:o.out_dir) selected;
+    (* The scheduler family spawns a 4-worker domain pool in this
+       process, which permanently disables fork — incompatible with the
+       process transport, so it is skipped (not silently: say so). *)
+    let selected =
+      match o.backend with
+      | `Inprocess -> selected
+      | `Process ->
+          List.filter
+            (fun (n, _, _) ->
+              if n = "scheduler" then begin
+                print_endline
+                  "(skipping family 'scheduler': it spawns worker domains, \
+                   which the process backend's fork requirement forbids)";
+                false
+              end
+              else true)
+            selected
+    in
+    List.iter (run_family ~quick:o.quick ~out_dir:o.out_dir ~suffix) selected;
     Option.iter write_json o.json
   end

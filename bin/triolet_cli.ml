@@ -12,6 +12,38 @@ module Fault = Triolet_runtime.Fault
 module Clock = Triolet_runtime.Clock
 module Obs = Triolet_obs.Obs
 
+let backend_arg =
+  let doc =
+    "Cluster transport backend: $(b,inprocess) runs nodes as mailbox \
+     channels inside this process; $(b,process) forks one OS process per \
+     node and moves every frame over a socketpair.  Forking must happen \
+     before any worker domain is spawned, so $(b,process) runs the \
+     parent single-threaded."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("inprocess", Cluster.Inprocess); ("process", Cluster.Process) ])
+        Cluster.Inprocess
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+(* Select the transport before anything touches the default pool: the
+   environment variable keeps [Pool.default] one worker wide in the
+   parent (forked children still build full-width pools), and the
+   ambient context routes the skeletons to the chosen transport. *)
+let apply_backend backend =
+  (match backend with
+  | Cluster.Process -> Unix.putenv "TRIOLET_BACKEND" "process"
+  | Cluster.Inprocess | Cluster.Flat -> ());
+  Triolet.Exec.set_ambient
+    { (Triolet.Exec.current ()) with Triolet.Exec.backend }
+
+let backend_name = function
+  | Cluster.Inprocess -> "in-process"
+  | Cluster.Process -> "multi-process"
+  | Cluster.Flat -> "flat"
+
 let verbose_arg =
   let doc = "Enable debug logging of the runtime (chunks, messages)." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -223,30 +255,38 @@ let faults_flag =
   in
   Arg.(value & flag & info [ "faults" ] ~doc)
 
-let noisy_spec ~seed ~rate ?crash ?(stragglers = []) () =
-  Fault.spec ~seed ~drop:rate ~duplicate:rate ~corrupt:rate ~delay:rate
-    ?crash ~stragglers ()
-
 (* Fault-matrix mode: run every kernel under a set of failure
    scenarios and check each result against the fault-free reference. *)
 let faults_cmd =
-  let run nodes cores rate seed verbose =
+  let run nodes cores backend rate seed verbose =
     setup_logs verbose;
+    apply_backend backend;
     Triolet.Config.set_cluster
       { Cluster.nodes; cores_per_node = cores; flat = false };
     let module D = Triolet_kernels.Dataset in
     let module Table = Triolet_harness.Table in
     let crash_node = min 1 (nodes - 1) in
+    (* Retry timeouts sized for the transport: the in-process mailbox
+       turns messages around in microseconds, a forked node takes real
+       scheduling and pipe latency, so the process backend gets a much
+       larger base timeout to keep delayed frames from triggering retry
+       storms. *)
+    let base_timeout, max_timeout =
+      match backend with
+      | Cluster.Process -> (Some 0.1, Some 1.0)
+      | Cluster.Inprocess | Cluster.Flat -> (None, None)
+    in
+    let spec = Fault.spec ?base_timeout ?max_timeout in
     let scenarios =
       [
-        ("drop+corrupt", Fault.spec ~seed ~drop:rate ~corrupt:rate ());
-        ("dup+delay", Fault.spec ~seed ~duplicate:rate ~delay:rate ());
+        ("drop+corrupt", spec ~seed ~drop:rate ~corrupt:rate ());
+        ("dup+delay", spec ~seed ~duplicate:rate ~delay:rate ());
         ( "crash-before",
-          Fault.spec ~seed ~crash:(crash_node, Fault.Before_work) () );
+          spec ~seed ~crash:(crash_node, Fault.Before_work) () );
         ( "crash-during",
-          Fault.spec ~seed ~crash:(crash_node, Fault.During_work) () );
+          spec ~seed ~crash:(crash_node, Fault.During_work) () );
         ( "everything",
-          noisy_spec ~seed ~rate
+          spec ~seed ~drop:rate ~duplicate:rate ~corrupt:rate ~delay:rate
             ~crash:(crash_node, Fault.After_work)
             ~stragglers:[ 0 ] () );
       ]
@@ -310,8 +350,8 @@ let faults_cmd =
           scenarios)
       kernels;
     Printf.printf
-      "fault matrix: %d nodes x %d cores, rate %.3f, seed %d\n" nodes cores
-      rate seed;
+      "fault matrix: %d nodes x %d cores (%s), rate %.3f, seed %d\n" nodes
+      cores (backend_name backend) rate seed;
     Table.print
       ([ "kernel"; "scenario"; "result"; "faults"; "retries"; "redeliv";
          "corrupt"; "crashes" ]
@@ -335,20 +375,30 @@ let faults_cmd =
          "Run every kernel under a matrix of injected failures (drops, \
           duplicates, corruption, delays, node crashes, stragglers) and \
           verify the results still match the fault-free runs")
-    Term.(const run $ nodes $ cores $ fault_rate_arg $ fault_seed_arg
-          $ verbose_arg)
+    Term.(const run $ nodes $ cores $ backend_arg $ fault_rate_arg
+          $ fault_seed_arg $ verbose_arg)
 
 (* Distributed-runtime demo with byte accounting and optional tracing. *)
 let demo_cmd =
-  let run nodes cores flat faults fault_rate fault_seed trace verbose =
+  let run nodes cores flat backend faults fault_rate fault_seed trace verbose
+      =
     setup_logs verbose;
+    apply_backend backend;
     Triolet.Config.set_cluster { Cluster.nodes; cores_per_node = cores; flat };
-    if faults then
+    if faults then begin
+      let base_timeout, max_timeout =
+        match backend with
+        | Cluster.Process -> (Some 0.1, Some 1.0)
+        | Cluster.Inprocess | Cluster.Flat -> (None, None)
+      in
       Triolet.Config.set_faults
         (Some
-           (noisy_spec ~seed:fault_seed ~rate:fault_rate
+           (Fault.spec ?base_timeout ?max_timeout ~seed:fault_seed
+              ~drop:fault_rate ~duplicate:fault_rate ~corrupt:fault_rate
+              ~delay:fault_rate
               ~crash:(min 1 (nodes - 1), Fault.During_work)
-              ()));
+              ()))
+    end;
     let n = 1_000_000 in
     let xs = Float.Array.init n (fun i -> float_of_int (i mod 1000) /. 1000.0) in
     let ys = Float.Array.init n (fun i -> float_of_int ((i + 17) mod 1000) /. 1000.0) in
@@ -371,7 +421,7 @@ let demo_cmd =
     Printf.printf
       "dot product of 2 x %d floats on a %dx%d %s cluster = %.4f\n" n nodes
       cores
-      (if flat then "flat" else "two-level")
+      (if flat then "flat" else "two-level " ^ backend_name backend)
       dot;
     Printf.printf "messages: %d   bytes moved: %s   chunks: %d   steals: %d\n"
       delta.Stats.messages
@@ -429,8 +479,8 @@ let demo_cmd =
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Distributed dot product on the in-process cluster, with byte accounting")
-    Term.(const run $ nodes $ cores $ flat $ faults_flag $ fault_rate_arg
-          $ fault_seed_arg $ trace $ verbose_arg)
+    Term.(const run $ nodes $ cores $ flat $ backend_arg $ faults_flag
+          $ fault_rate_arg $ fault_seed_arg $ trace $ verbose_arg)
 
 (* Bench-result regression gate. *)
 let bench_cmd =

@@ -93,7 +93,16 @@ let fusion (p : Plan.t) : finding list =
 
 (* ------------------------------------------------------------------ *)
 (* Serialization: distributed tasks must be able to extract their
-   payload, and pointer-free payloads ship as block copies. *)
+   payload, pointer-free payloads ship as block copies, and no payload
+   may alias the sender's memory — an aliased payload only "decodes"
+   in-process because the receiver was handed the sender's pointer; over
+   a real transport (the process backend) it is a silent correctness
+   bug, so it is a hard error here. *)
+
+let slice_to_string = function
+  | Plan.Slice_1d { off; len } -> Printf.sprintf "slice [%d, %d)" off (off + len)
+  | Plan.Slice_2d { r0; nr; c0; nc } ->
+      Printf.sprintf "block (r %d+%d, c %d+%d)" r0 nr c0 nc
 
 let serialization (p : Plan.t) : finding list =
   let findings = ref [] in
@@ -105,16 +114,10 @@ let serialization (p : Plan.t) : finding list =
   let raw_bytes = ref 0 and raw_tasks = ref 0 in
   List.iter
     (fun (t : Plan.task) ->
-      match t.Plan.payload with
+      let where = slice_to_string t.Plan.slice in
+      (match t.Plan.payload with
       | None | Some (Ok []) -> ()
       | Some (Error msg) ->
-          let where =
-            match t.Plan.slice with
-            | Plan.Slice_1d { off; len } ->
-                Printf.sprintf "slice [%d, %d)" off (off + len)
-            | Plan.Slice_2d { r0; nr; c0; nc } ->
-                Printf.sprintf "block (r %d+%d, c %d+%d)" r0 nr c0 nc
-          in
           add Error
             (Printf.sprintf
                "payload extraction failed for %s: %s — a boxed source \
@@ -131,7 +134,16 @@ let serialization (p : Plan.t) : finding list =
               (function
                 | Plan.Raw_buf n -> raw_bytes := !raw_bytes + n | _ -> ())
               bufs
-          end)
+          end);
+      if t.Plan.aliased then
+        add Error
+          (Printf.sprintf
+             "payload for %s aliases sender memory: the extractor returns \
+              the source buffer instead of a copy, so it only decodes \
+              in-process — over a real transport (--backend=process) the \
+              receiver gets serialized bytes and the sharing assumption \
+              breaks"
+             where))
     p.Plan.tasks;
   if !raw_tasks > 0 then
     add Info

@@ -27,6 +27,14 @@ type task = {
       (** [None] when the task runs in place (no payload extracted);
           [Some (Error msg)] when slicing raised — e.g. a boxed source
           with no codec asked for distributed execution. *)
+  aliased : bool;
+      (** the extracted payload physically shares a buffer with the
+          sender's memory instead of copying the slice.  Such a payload
+          only "decodes" in-process, where the receiver is handed the
+          sender's pointer; over a real transport (the process backend)
+          the receiver gets bytes, and any in-place mutation or
+          identity assumption breaks.  Detected by extracting twice and
+          comparing buffers for physical equality. *)
 }
 
 type partition =
@@ -69,10 +77,30 @@ let buf_summary_of = function
   | Triolet_base.Payload.Ints a -> Ints_buf (Array.length a)
   | Triolet_base.Payload.Raw s -> Raw_buf (String.length s)
 
+(* Two extractions of a *copying* [payload_of] yield physically distinct
+   buffers; physically equal non-empty buffers mean the extractor handed
+   out the sender's own array.  (Zero-length arrays and strings are
+   excluded: OCaml interns those, so sharing proves nothing.) *)
+let phys_alias b1 b2 =
+  match (b1, b2) with
+  | Triolet_base.Payload.Floats a, Triolet_base.Payload.Floats b ->
+      Float.Array.length a > 0 && a == b
+  | Triolet_base.Payload.Ints a, Triolet_base.Payload.Ints b ->
+      Array.length a > 0 && a == b
+  | Triolet_base.Payload.Raw s, Triolet_base.Payload.Raw r ->
+      String.length s > 0 && s == r
+  | _ -> false
+
 let probe_payload extract =
   match extract () with
-  | p -> Some (Ok (List.map buf_summary_of p))
-  | exception e -> Some (Error (Printexc.to_string e))
+  | p ->
+      let aliased =
+        match extract () with
+        | p2 -> List.length p = List.length p2 && List.exists2 phys_alias p p2
+        | exception _ -> false
+      in
+      (Some (Ok (List.map buf_summary_of p)), aliased)
+  | exception e -> (Some (Error (Printexc.to_string e)), false)
 
 let local_workers () =
   Triolet_runtime.Pool.size (Triolet_runtime.Pool.default ())
@@ -84,7 +112,7 @@ let distributed_workers () =
   else cfg.Triolet_runtime.Cluster.nodes
 
 let effective_grain ~workers n =
-  match !Config.grain_size with
+  match Config.grain_size () with
   | Some g -> (g, true)
   | None -> (Triolet_runtime.Partition.grain ~workers n, false)
 
@@ -104,24 +132,29 @@ let of_iter ~name (it : 'a Iter.t) : t =
     | Iter.Sequential ->
         ( Whole,
           1,
-          [ { slice = Slice_1d { off = 0; len }; payload = None } ] )
+          [
+            { slice = Slice_1d { off = 0; len }; payload = None;
+              aliased = false };
+          ] )
     | Iter.Local ->
         let workers = local_workers () in
         let grain, overridden = effective_grain ~workers len in
         ( Dynamic_ranges { grain; overridden },
           workers,
-          [ { slice = Slice_1d { off = 0; len }; payload = None } ] )
+          [
+            { slice = Slice_1d { off = 0; len }; payload = None;
+              aliased = false };
+          ] )
     | Iter.Distributed ->
         let workers = distributed_workers () in
         let blocks = Triolet_runtime.Partition.blocks ~parts:workers len in
         let tasks =
           Array.to_list blocks
           |> List.map (fun (off, n) ->
-                 {
-                   slice = Slice_1d { off; len = n };
-                   payload =
-                     probe_payload (fun () -> it.Iter.payload_of off n);
-                 })
+                 let payload, aliased =
+                   probe_payload (fun () -> it.Iter.payload_of off n)
+                 in
+                 { slice = Slice_1d { off; len = n }; payload; aliased })
         in
         (Static_blocks blocks, workers, tasks)
   in
@@ -134,8 +167,13 @@ let of_iter ~name (it : 'a Iter.t) : t =
 let of_iter2 ~name (it : 'a Iter2.t) : t =
   let rows = Iter2.row_count it and cols = Iter2.col_count it in
   let hint = Iter2.hint it in
-  let whole = { slice = Slice_2d { r0 = 0; nr = rows; c0 = 0; nc = cols };
-                payload = None } in
+  let whole =
+    {
+      slice = Slice_2d { r0 = 0; nr = rows; c0 = 0; nc = cols };
+      payload = None;
+      aliased = false;
+    }
+  in
   let partition, workers, tasks =
     match hint with
     | Iter.Sequential -> (Whole, 1, [ whole ])
@@ -154,12 +192,11 @@ let of_iter2 ~name (it : 'a Iter2.t) : t =
         let tasks =
           Array.to_list blocks
           |> List.map (fun (r0, nr, c0, nc) ->
-                 {
-                   slice = Slice_2d { r0; nr; c0; nc };
-                   payload =
-                     probe_payload (fun () ->
-                         Iter2.payload_slice it ~r0 ~nr ~c0 ~nc);
-                 })
+                 let payload, aliased =
+                   probe_payload (fun () ->
+                       Iter2.payload_slice it ~r0 ~nr ~c0 ~nc)
+                 in
+                 { slice = Slice_2d { r0; nr; c0; nc }; payload; aliased })
         in
         (Static_grid { row_parts = rp; col_parts = cp; blocks }, workers, tasks)
   in

@@ -23,6 +23,11 @@ type task = {
   slice : slice;
   payload : (buf_summary list, string) result option;
       (** [None]: in-place task; [Some (Error _)]: slicing raised. *)
+  aliased : bool;
+      (** the payload physically shares a non-empty buffer with the
+          sender's memory (detected by extracting twice and comparing
+          with [==]); such a payload only decodes in-process and is a
+          hard error under a real transport. *)
 }
 
 type partition =

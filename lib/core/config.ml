@@ -1,49 +1,32 @@
-(** Global execution configuration for skeleton consumers.
+(** Deprecated global-configuration facade.
 
-    Users pick *what* parallelism to use with [par]/[localpar] hints;
-    *where* it runs — how many simulated nodes, cores per node, and
-    whether the distributed layer is two-level or flat — is ambient
-    configuration, like the MPI launch geometry of a real deployment. *)
+    Historically this module *was* the execution configuration: four
+    independently mutable globals.  The configuration now lives in the
+    immutable {!Exec.t} context; these entry points survive as thin
+    shims over the ambient context so existing callers (tests, CLI,
+    benches) keep working unchanged.  New code should pass [?ctx] or use
+    {!Exec.with_context} directly. *)
 
-let cluster = ref Triolet_runtime.Cluster.default_config
+let set_cluster c = Exec.set_ambient (Exec.of_cluster_config (Exec.current ()) c)
 
-let set_cluster c = cluster := c
-
-let get_cluster () = !cluster
+let get_cluster () = Exec.to_cluster_config (Exec.current ())
 
 (** Run [f] under cluster configuration [c], restoring the previous one
-    afterwards (exception-safe). *)
+    afterwards (exception-safe).  Shim over {!Exec.with_context}. *)
 let with_cluster c f =
-  let old = !cluster in
-  cluster := c;
-  Fun.protect ~finally:(fun () -> cluster := old) f
+  Exec.with_context (Exec.of_cluster_config (Exec.current ()) c) f
 
-(** Ambient fault-injection plan for distributed skeletons.  [None]
-    (the default) runs the original fault-free protocol; [Some spec]
-    makes every [Cluster.run] issued by a skeleton consumer inject the
-    plan's deterministic failures and recover from them — the CLI's
-    [--faults] mode and the fault-matrix tests set this. *)
-let faults : Triolet_runtime.Fault.spec option ref = ref None
+let set_faults s = Exec.set_ambient { (Exec.current ()) with Exec.faults = s }
 
-let set_faults s = faults := s
-
-let get_faults () = !faults
+let get_faults () = (Exec.current ()).Exec.faults
 
 (** Run [f] under fault plan [s], restoring the previous plan
-    afterwards (exception-safe). *)
+    afterwards (exception-safe).  Shim over {!Exec.with_context}. *)
 let with_faults s f =
-  let old = !faults in
-  faults := Some s;
-  Fun.protect ~finally:(fun () -> faults := old) f
+  Exec.with_context { (Exec.current ()) with Exec.faults = Some s } f
 
-(** Chunk over-decomposition multiplier for local loops that are
-    *pre-partitioned* into explicit blocks (order-preserving chunked
-    maps, 2-D block grids). *)
-let chunk_multiplier = ref 4
+let chunk_multiplier () = (Exec.current ()).Exec.chunk_multiplier
 
-(** Grain-size override for the adaptive lazy-splitting scheduler.
-    [None] (the default) lets the pool derive a grain from the range
-    length and worker count ({!Triolet_runtime.Partition.grain});
-    [Some g] forces grain [g] — smaller grains rebalance finer-skewed
-    work at more per-grain overhead. *)
-let grain_size : int option ref = ref None
+let grain_size () = (Exec.current ()).Exec.grain
+
+let set_grain_size g = Exec.set_ambient { (Exec.current ()) with Exec.grain = g }

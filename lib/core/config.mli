@@ -1,30 +1,39 @@
-(** Global execution configuration for skeleton consumers: the cluster
-    geometry that [par] runs on, like the MPI launch configuration of a
-    real deployment. *)
+(** Deprecated global-configuration facade over {!Exec}.
+
+    The execution configuration is the immutable {!Exec.t} context;
+    everything here reads or replaces the *ambient* context and exists
+    so historical call sites keep compiling.  New code should thread
+    [?ctx] or use {!Exec.with_context}. *)
 
 val set_cluster : Triolet_runtime.Cluster.config -> unit
+(** [flat = true] selects the [Flat] backend; [flat = false] keeps the
+    ambient non-flat backend (e.g. an environment-selected process
+    transport). *)
+
 val get_cluster : unit -> Triolet_runtime.Cluster.config
 
 val with_cluster : Triolet_runtime.Cluster.config -> (unit -> 'a) -> 'a
 (** Runs the thunk under the given configuration, restoring the previous
     one afterwards (exception-safe). *)
 
-val faults : Triolet_runtime.Fault.spec option ref
+val set_faults : Triolet_runtime.Fault.spec option -> unit
 (** Ambient fault-injection plan: when set, distributed skeletons pass
-    it to [Cluster.run], so kernels execute under deterministic
+    it to the cluster runtime, so kernels execute under deterministic
     injected failures with recovery. *)
 
-val set_faults : Triolet_runtime.Fault.spec option -> unit
 val get_faults : unit -> Triolet_runtime.Fault.spec option
 
 val with_faults : Triolet_runtime.Fault.spec -> (unit -> 'a) -> 'a
 (** Runs the thunk under the given fault plan, restoring the previous
     one afterwards (exception-safe). *)
 
-val chunk_multiplier : int ref
+val chunk_multiplier : unit -> int
 (** Over-decomposition multiplier for local loops pre-partitioned into
-    explicit blocks. *)
+    explicit blocks (from the ambient context). *)
 
-val grain_size : int option ref
+val grain_size : unit -> int option
 (** Grain-size override for the adaptive lazy-splitting scheduler;
-    [None] derives the grain from range length and pool width. *)
+    [None] derives the grain from range length and pool width (from the
+    ambient context). *)
+
+val set_grain_size : int option -> unit

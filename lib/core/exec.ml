@@ -1,0 +1,120 @@
+(** Immutable execution contexts.
+
+    Everything that used to be scattered across mutable globals in
+    {!Config} — cluster geometry, transport backend, fault plan, grain
+    policy — lives in one immutable record, threaded through skeleton
+    consumers as [?ctx].  A context answers *where and how* a skeleton
+    runs, the way an MPI launch configuration does for the paper's
+    runtime; *what* runs stays in the iterator pipeline itself.
+
+    There is still one ambient context (the default for consumers called
+    without [?ctx], and what the deprecated {!Config} shims manipulate),
+    but it is a stack of whole values, not a bag of independently
+    mutable cells: {!with_context} swaps the entire record and restores
+    it exception-safely, so no combination of nested overrides can leave
+    a half-updated configuration behind. *)
+
+module Cluster = Triolet_runtime.Cluster
+module Fault = Triolet_runtime.Fault
+
+type t = {
+  nodes : int;  (** simulated cluster nodes *)
+  cores_per_node : int;  (** cores (pool width) within each node *)
+  backend : Cluster.backend;  (** transport realizing the geometry *)
+  faults : Fault.spec option;  (** fault-injection plan, if any *)
+  grain : int option;  (** scheduler grain override *)
+  chunk_multiplier : int;  (** over-decomposition for pre-chunked loops *)
+}
+
+(* The backend can be selected from outside via TRIOLET_BACKEND
+   ("inprocess" | "flat" | "process"), which is how `dune runtest` and
+   the CLI exercise the whole iterator stack over the process transport
+   without touching call sites.  Unknown values fall back to in-process
+   rather than failing: the variable is an operator knob, not an API. *)
+let env_backend () =
+  match Sys.getenv_opt "TRIOLET_BACKEND" with
+  | None -> Cluster.Inprocess
+  | Some s -> (
+      match Cluster.backend_of_string s with
+      | Some b -> b
+      | None -> Cluster.Inprocess)
+
+let default () =
+  {
+    nodes = 4;
+    cores_per_node = 2;
+    backend = env_backend ();
+    faults = None;
+    grain = None;
+    chunk_multiplier = 4;
+  }
+
+(* Created lazily so the environment is read at first use, after a CLI
+   has had the chance to set it. *)
+let ambient : t option ref = ref None
+
+let current () =
+  match !ambient with
+  | Some c -> c
+  | None ->
+      let c = default () in
+      ambient := Some c;
+      c
+
+let set_ambient c = ambient := Some c
+
+let with_context c f =
+  let old = !ambient in
+  ambient := Some c;
+  Fun.protect ~finally:(fun () -> ambient := old) f
+
+let resolve = function Some c -> c | None -> current ()
+
+let make ?nodes ?cores_per_node ?backend ?faults ?grain ?chunk_multiplier () =
+  let base = current () in
+  {
+    nodes = Option.value nodes ~default:base.nodes;
+    cores_per_node = Option.value cores_per_node ~default:base.cores_per_node;
+    backend = Option.value backend ~default:base.backend;
+    faults = (match faults with Some f -> f | None -> base.faults);
+    grain = (match grain with Some g -> g | None -> base.grain);
+    chunk_multiplier =
+      Option.value chunk_multiplier ~default:base.chunk_multiplier;
+  }
+
+let topology c =
+  {
+    Cluster.nodes = c.nodes;
+    cores_per_node = c.cores_per_node;
+    backend = c.backend;
+  }
+
+let worker_count c = Cluster.topology_workers (topology c)
+
+(* Bridges for the deprecated Config API, which still speaks the legacy
+   {nodes; cores_per_node; flat} record. *)
+
+let of_cluster_config base (c : Cluster.config) =
+  {
+    base with
+    nodes = c.Cluster.nodes;
+    cores_per_node = c.Cluster.cores_per_node;
+    backend =
+      (if c.Cluster.flat then Cluster.Flat
+       else
+         (* [flat = false] means "the normal two-level view", not "the
+            mailbox transport": keep the current non-flat backend (so an
+            environment-selected process transport survives legacy
+            [set_cluster] calls), falling back out of Flat to the
+            environment default. *)
+         match base.backend with
+         | Cluster.Flat -> env_backend ()
+         | b -> b);
+  }
+
+let to_cluster_config c =
+  {
+    Cluster.nodes = c.nodes;
+    cores_per_node = c.cores_per_node;
+    flat = (c.backend = Cluster.Flat);
+  }

@@ -1,0 +1,73 @@
+(** Immutable execution contexts: where and how skeletons run.
+
+    One record carries what used to live in {!Config}'s mutable globals:
+    cluster geometry, transport {!Triolet_runtime.Cluster.backend},
+    fault plan and grain policy.  Iterator consumers and skeletons take
+    it as [?ctx]; omitted, they use the ambient context. *)
+
+type t = {
+  nodes : int;  (** simulated cluster nodes *)
+  cores_per_node : int;  (** cores (pool width) within each node *)
+  backend : Triolet_runtime.Cluster.backend;
+      (** transport realizing the geometry *)
+  faults : Triolet_runtime.Fault.spec option;
+      (** fault-injection plan, if any *)
+  grain : int option;  (** scheduler grain override *)
+  chunk_multiplier : int;
+      (** over-decomposition for pre-chunked local loops *)
+}
+
+val default : unit -> t
+(** 4 nodes x 2 cores, no faults, automatic grain, multiplier 4.  The
+    backend honours the [TRIOLET_BACKEND] environment variable
+    (["inprocess"] | ["flat"] | ["process"]; unknown values mean
+    in-process). *)
+
+val make :
+  ?nodes:int ->
+  ?cores_per_node:int ->
+  ?backend:Triolet_runtime.Cluster.backend ->
+  ?faults:Triolet_runtime.Fault.spec option ->
+  ?grain:int option ->
+  ?chunk_multiplier:int ->
+  unit ->
+  t
+(** A context derived from {!current}, overriding the given fields. *)
+
+val current : unit -> t
+(** The ambient context (created from {!default} on first use). *)
+
+val set_ambient : t -> unit
+(** Replace the ambient context — what the deprecated [Config] setters
+    compile down to. *)
+
+val with_context : t -> (unit -> 'a) -> 'a
+(** Run the thunk with the given ambient context, restoring the previous
+    one afterwards (exception-safe, nestable). *)
+
+val resolve : t option -> t
+(** [resolve ctx] is [ctx]'s value, or {!current} when [None] — the
+    one-liner every [?ctx] consumer starts with. *)
+
+val topology : t -> Triolet_runtime.Cluster.topology
+(** The geometry + backend a [Cluster.run_topology] call needs. *)
+
+val worker_count : t -> int
+(** Logical distributed workers this context fans out to. *)
+
+val env_backend : unit -> Triolet_runtime.Cluster.backend
+(** The backend selected by [TRIOLET_BACKEND] (in-process when unset or
+    unrecognized). *)
+
+(** {1 Legacy bridges}
+
+    Conversions for the deprecated [Config] record API. *)
+
+val of_cluster_config : t -> Triolet_runtime.Cluster.config -> t
+(** [of_cluster_config base c] rebuilds [base] with [c]'s geometry;
+    [flat = true] selects the [Flat] backend, [flat = false] keeps
+    [base]'s non-flat backend (falling back to {!env_backend} when
+    [base] was flat). *)
+
+val to_cluster_config : t -> Triolet_runtime.Cluster.config
+(** Forgets everything but geometry; [flat] is [backend = Flat]. *)

@@ -222,39 +222,43 @@ let sequential t = { t with hint = Sequential }
 (* ------------------------------------------------------------------ *)
 (* Consumers                                                           *)
 
-(* Generic reduction skeleton: dispatch on the hint. *)
-let run_reduce ~result_codec ~of_chunk ~merge ~init t =
+(* Generic reduction skeleton: dispatch on the hint.  The execution
+   context is resolved once here and passed explicitly below; the
+   [node_work] closure captures it by value, so it crosses a [fork]
+   intact under the process backend. *)
+let run_reduce ?ctx ~result_codec ~of_chunk ~merge ~init t =
+  let ctx = Exec.resolve ctx in
   match t.hint with
   | Sequential -> if t.len = 0 then init else merge init (of_chunk (t.local 0 t.len))
   | Local ->
-      Skeletons.local_reduce ~len:t.len
+      Skeletons.local_reduce ~ctx ~len:t.len
         ~chunk:(fun off n -> of_chunk (t.local off n))
-        ~merge ~init
+        ~merge ~init ()
   | Distributed ->
-      Skeletons.distributed_reduce ~len:t.len ~payload_of:t.payload_of
+      Skeletons.distributed_reduce ~ctx ~len:t.len ~payload_of:t.payload_of
         ~node_work:(fun ~pool payload ->
           let sub = t.rebuild payload in
-          Skeletons.local_reduce_with pool ~len:sub.len
+          Skeletons.local_reduce_with ~ctx pool ~len:sub.len
             ~chunk:(fun off n -> of_chunk (sub.local off n))
             ~merge ~init)
-        ~result_codec ~merge ~init
+        ~result_codec ~merge ~init ()
 
-let sum (t : float t) =
-  run_reduce ~result_codec:Codec.float ~of_chunk:Seq_iter.sum_float
+let sum ?ctx (t : float t) =
+  run_reduce ?ctx ~result_codec:Codec.float ~of_chunk:Seq_iter.sum_float
     ~merge:( +. ) ~init:0.0 t
 
-let sum_int (t : int t) =
-  run_reduce ~result_codec:Codec.int ~of_chunk:Seq_iter.sum_int ~merge:( + )
-    ~init:0 t
+let sum_int ?ctx (t : int t) =
+  run_reduce ?ctx ~result_codec:Codec.int ~of_chunk:Seq_iter.sum_int
+    ~merge:( + ) ~init:0 t
 
-let count t =
-  run_reduce ~result_codec:Codec.int ~of_chunk:Seq_iter.length ~merge:( + )
-    ~init:0 t
+let count ?ctx t =
+  run_reduce ?ctx ~result_codec:Codec.int ~of_chunk:Seq_iter.length
+    ~merge:( + ) ~init:0 t
 
 (** General reduction.  [codec] is only exercised under distributed
     execution (results cross a node boundary). *)
-let reduce ~codec ~merge ~init t =
-  run_reduce ~result_codec:codec
+let reduce ?ctx ~codec ~merge ~init t =
+  run_reduce ?ctx ~result_codec:codec
     ~of_chunk:(fun si -> Seq_iter.fold merge init si)
     ~merge ~init t
 
@@ -270,15 +274,15 @@ let floatarray_add a b =
 (** Counting histogram of bin indices: each task builds a private
     histogram; histograms are added within each node and once more
     across nodes — the paper's distributed histogram strategy. *)
-let histogram ~bins (t : int t) =
-  run_reduce ~result_codec:Codec.int_array
+let histogram ?ctx ~bins (t : int t) =
+  run_reduce ?ctx ~result_codec:Codec.int_array
     ~of_chunk:(fun si -> Collector.histogram ~bins (Seq_iter.collect si))
     ~merge:array_add ~init:(Array.make bins 0) t
 
 (** Floating-point scatter-add over (index, weight) pairs: cutcp's
     "floating-point histogram". *)
-let scatter_add ~size (t : (int * float) t) =
-  run_reduce ~result_codec:Codec.floatarray
+let scatter_add ?ctx ~size (t : (int * float) t) =
+  run_reduce ?ctx ~result_codec:Codec.floatarray
     ~of_chunk:(fun si ->
       Collector.weighted_histogram ~bins:size (Seq_iter.collect si))
     ~merge:floatarray_add
@@ -297,34 +301,35 @@ let floatarray_concat parts =
 
 (** Pack the (possibly variable-length) float results into a contiguous
     array, preserving iteration order. *)
-let collect_floats (t : float t) =
+let collect_floats ?ctx (t : float t) =
+  let ctx = Exec.resolve ctx in
   match t.hint with
   | Sequential -> Seq_iter.to_floatarray (t.local 0 t.len)
   | Local ->
       floatarray_concat
-        (Skeletons.local_map_chunks ~len:t.len ~chunk:(fun off n ->
-             Seq_iter.to_floatarray (t.local off n)))
+        (Skeletons.local_map_chunks ~ctx ~len:t.len
+           ~chunk:(fun off n -> Seq_iter.to_floatarray (t.local off n))
+           ())
   | Distributed ->
       let parts =
-        Skeletons.distributed_map_blocks
+        Skeletons.distributed_map_blocks ~ctx
           ~blocks:
-            (Triolet_runtime.Partition.blocks
-               ~parts:(Config.get_cluster ()).Triolet_runtime.Cluster.nodes
-               t.len)
+            (Triolet_runtime.Partition.blocks ~parts:ctx.Exec.nodes t.len)
           ~payload_of:(fun (off, n) -> t.payload_of off n)
           ~node_work:(fun ~pool payload ->
             let sub = t.rebuild payload in
             floatarray_concat
-              (Skeletons.local_map_chunks_with pool ~len:sub.len
+              (Skeletons.local_map_chunks_with ~ctx pool ~len:sub.len
                  ~chunk:(fun off n -> Seq_iter.to_floatarray (sub.local off n))))
-          ~result_codec:Codec.floatarray
+          ~result_codec:Codec.floatarray ()
       in
       floatarray_concat parts
 
 (** Like {!collect_floats} for (float, float) element pairs, packing the
     two components into separate arrays (e.g. the real and imaginary
     sums of mri-q). *)
-let collect_float_pairs (t : (float * float) t) =
+let collect_float_pairs ?ctx (t : (float * float) t) =
+  let ctx = Exec.resolve ctx in
   let chunk_to_pair si =
     let a = Triolet_base.Vec.create 0.0 and b = Triolet_base.Vec.create 0.0 in
     Seq_iter.iter
@@ -345,22 +350,21 @@ let collect_float_pairs (t : (float * float) t) =
   | Sequential -> chunk_to_pair (t.local 0 t.len)
   | Local ->
       concat_pairs
-        (Skeletons.local_map_chunks ~len:t.len ~chunk:(fun off n ->
-             chunk_to_pair (t.local off n)))
+        (Skeletons.local_map_chunks ~ctx ~len:t.len
+           ~chunk:(fun off n -> chunk_to_pair (t.local off n))
+           ())
   | Distributed ->
       let parts =
-        Skeletons.distributed_map_blocks
+        Skeletons.distributed_map_blocks ~ctx
           ~blocks:
-            (Triolet_runtime.Partition.blocks
-               ~parts:(Config.get_cluster ()).Triolet_runtime.Cluster.nodes
-               t.len)
+            (Triolet_runtime.Partition.blocks ~parts:ctx.Exec.nodes t.len)
           ~payload_of:(fun (off, n) -> t.payload_of off n)
           ~node_work:(fun ~pool payload ->
             let sub = t.rebuild payload in
             concat_pairs
-              (Skeletons.local_map_chunks_with pool ~len:sub.len
+              (Skeletons.local_map_chunks_with ~ctx pool ~len:sub.len
                  ~chunk:(fun off n -> chunk_to_pair (sub.local off n))))
-          ~result_codec:(Codec.pair Codec.floatarray Codec.floatarray)
+          ~result_codec:(Codec.pair Codec.floatarray Codec.floatarray) ()
       in
       concat_pairs parts
 
@@ -399,18 +403,18 @@ let rec filter_map f t =
     rebuild = (fun p -> filter_map f (t.rebuild p));
   }
 
-let min_float t =
-  run_reduce ~result_codec:Codec.float ~of_chunk:Seq_iter.min_float
+let min_float ?ctx t =
+  run_reduce ?ctx ~result_codec:Codec.float ~of_chunk:Seq_iter.min_float
     ~merge:Float.min ~init:Float.infinity t
 
-let max_float t =
-  run_reduce ~result_codec:Codec.float ~of_chunk:Seq_iter.max_float
+let max_float ?ctx t =
+  run_reduce ?ctx ~result_codec:Codec.float ~of_chunk:Seq_iter.max_float
     ~merge:Float.max ~init:Float.neg_infinity t
 
 (** Arithmetic mean; [nan] on empty input. *)
-let mean t =
+let mean ?ctx t =
   let sum, n =
-    run_reduce
+    run_reduce ?ctx
       ~result_codec:(Codec.pair Codec.float Codec.int)
       ~of_chunk:(fun si ->
         Seq_iter.fold (fun (s, n) x -> (s +. x, n + 1)) (0.0, 0) si)
@@ -419,12 +423,12 @@ let mean t =
   in
   if n = 0 then Float.nan else sum /. float_of_int n
 
-let exists p t =
-  run_reduce ~result_codec:Codec.bool
+let exists ?ctx p t =
+  run_reduce ?ctx ~result_codec:Codec.bool
     ~of_chunk:(fun si -> Seq_iter.exists p si)
     ~merge:( || ) ~init:false t
 
-let for_all p t =
-  run_reduce ~result_codec:Codec.bool
+let for_all ?ctx p t =
+  run_reduce ?ctx ~result_codec:Codec.bool
     ~of_chunk:(fun si -> Seq_iter.for_all p si)
     ~merge:( && ) ~init:true t

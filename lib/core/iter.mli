@@ -96,27 +96,34 @@ val sequential : 'a t -> 'a t
     with identity [init]; combination order is unspecified under
     parallel execution. *)
 
-val sum : float t -> float
-val sum_int : int t -> int
-val count : 'a t -> int
+val sum : ?ctx:Exec.t -> float t -> float
+val sum_int : ?ctx:Exec.t -> int t -> int
+val count : ?ctx:Exec.t -> 'a t -> int
 
-val reduce : codec:'a Triolet_base.Codec.t -> merge:('a -> 'a -> 'a) -> init:'a -> 'a t -> 'a
+val reduce :
+  ?ctx:Exec.t ->
+  codec:'a Triolet_base.Codec.t ->
+  merge:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a t ->
+  'a
 (** [codec] is exercised only under distributed execution (results cross
     node boundaries). *)
 
-val histogram : bins:int -> int t -> int array
+val histogram : ?ctx:Exec.t -> bins:int -> int t -> int array
 (** Private per-task histograms, added within each node and once more
     across nodes — the paper's distributed histogram strategy. *)
 
-val scatter_add : size:int -> (int * float) t -> floatarray
+val scatter_add : ?ctx:Exec.t -> size:int -> (int * float) t -> floatarray
 (** Floating-point scatter-add over (index, weight) pairs: cutcp's
     "floating-point histogram". *)
 
-val collect_floats : float t -> floatarray
+val collect_floats : ?ctx:Exec.t -> float t -> floatarray
 (** Packs (possibly variable-length) float results contiguously,
     preserving iteration order. *)
 
-val collect_float_pairs : (float * float) t -> floatarray * floatarray
+val collect_float_pairs :
+  ?ctx:Exec.t -> (float * float) t -> floatarray * floatarray
 (** Like {!collect_floats} with the pair components packed into separate
     arrays (mri-q's real/imaginary sums). *)
 
@@ -135,14 +142,14 @@ val filter_map : ('a -> 'b option) -> 'a t -> 'b t
 val sub : off:int -> len:int -> 'a t -> 'a t
 (** Outer sub-range as an iterator in its own right; stays sliceable. *)
 
-val min_float : float t -> float
+val min_float : ?ctx:Exec.t -> float t -> float
 (** [infinity] on empty input. *)
 
-val max_float : float t -> float
+val max_float : ?ctx:Exec.t -> float t -> float
 (** [neg_infinity] on empty input. *)
 
-val mean : float t -> float
+val mean : ?ctx:Exec.t -> float t -> float
 (** Arithmetic mean; [nan] on empty input. *)
 
-val exists : ('a -> bool) -> 'a t -> bool
-val for_all : ('a -> bool) -> 'a t -> bool
+val exists : ?ctx:Exec.t -> ('a -> bool) -> 'a t -> bool
+val for_all : ?ctx:Exec.t -> ('a -> bool) -> 'a t -> bool

@@ -132,7 +132,8 @@ let fill_block (t : float t) (out : Matrix.t) ~r0 ~nr ~c0 ~nc ~out_r0 ~out_c0
       receives only its block's input slice, computes the block with
       intra-node row parallelism, and ships the block back, where it is
       blitted into place. *)
-let build (t : float t) =
+let build ?ctx (t : float t) =
+  let ctx = Exec.resolve ctx in
   let out = Matrix.create t.rows t.cols in
   (match t.hint with
   | Iter.Sequential ->
@@ -142,33 +143,33 @@ let build (t : float t) =
          contiguous row ranges and splits them on demand, so rows whose
          pipelines cost unevenly still balance. *)
       let pool = Triolet_runtime.Pool.default () in
-      Triolet_runtime.Pool.parallel_range pool ?grain:!Config.grain_size
-        ~lo:0 ~hi:t.rows
+      Triolet_runtime.Pool.parallel_range pool ?grain:ctx.Exec.grain ~lo:0
+        ~hi:t.rows
         ~f:(fun r0 nr ->
           fill_block t out ~r0 ~nr ~c0:0 ~nc:t.cols ~out_r0:r0 ~out_c0:0)
         ~merge:(fun () () -> ())
         ~init:() ()
   | Iter.Distributed ->
-      let cfg = Config.get_cluster () in
-      let rp, cp = Partition.square_factors cfg.Cluster.nodes in
+      let rp, cp = Partition.square_factors ctx.Exec.nodes in
       let blocks =
         Partition.grid ~row_parts:rp ~col_parts:cp ~rows:t.rows ~cols:t.cols
       in
+      let grain = ctx.Exec.grain in
       let results =
-        Skeletons.distributed_map_blocks ~blocks
+        Skeletons.distributed_map_blocks ~ctx ~blocks
           ~payload_of:(fun (r0, nr, c0, nc) -> t.payload_of r0 nr c0 nc)
           ~node_work:(fun ~pool payload ->
             let sub = t.rebuild payload in
             let block = Matrix.create sub.rows sub.cols in
-            Triolet_runtime.Pool.parallel_range pool
-              ?grain:!Config.grain_size ~lo:0 ~hi:sub.rows
+            Triolet_runtime.Pool.parallel_range pool ?grain ~lo:0
+              ~hi:sub.rows
               ~f:(fun r0 nr ->
                 fill_block sub block ~r0 ~nr ~c0:0 ~nc:sub.cols ~out_r0:r0
                   ~out_c0:0)
               ~merge:(fun () () -> ())
               ~init:() ();
             Matrix.data block)
-          ~result_codec:Codec.floatarray
+          ~result_codec:Codec.floatarray ()
       in
       Array.iteri
         (fun k data ->
@@ -219,7 +220,8 @@ let transpose_iter m =
 (** Fold a 2-D float iterator to a scalar.  Distribution follows the
     same block grid as {!build}: each node reduces its block locally
     (rows across cores), and per-node partials are merged. *)
-let sum (t : float t) =
+let sum ?ctx (t : float t) =
+  let ctx = Exec.resolve ctx in
   let block_sum r0 nr c0 nc =
     let get = t.local r0 nr c0 nc in
     let acc = ref 0.0 in
@@ -233,21 +235,20 @@ let sum (t : float t) =
   match t.hint with
   | Iter.Sequential -> block_sum 0 t.rows 0 t.cols
   | Iter.Local ->
-      Skeletons.local_reduce ~len:t.rows
+      Skeletons.local_reduce ~ctx ~len:t.rows
         ~chunk:(fun off n -> block_sum off n 0 t.cols)
-        ~merge:( +. ) ~init:0.0
+        ~merge:( +. ) ~init:0.0 ()
   | Iter.Distributed ->
-      let cfg = Config.get_cluster () in
-      let rp, cp = Partition.square_factors cfg.Cluster.nodes in
+      let rp, cp = Partition.square_factors ctx.Exec.nodes in
       let blocks =
         Partition.grid ~row_parts:rp ~col_parts:cp ~rows:t.rows ~cols:t.cols
       in
       let parts =
-        Skeletons.distributed_map_blocks ~blocks
+        Skeletons.distributed_map_blocks ~ctx ~blocks
           ~payload_of:(fun (r0, nr, c0, nc) -> t.payload_of r0 nr c0 nc)
           ~node_work:(fun ~pool payload ->
             let sub = t.rebuild payload in
-            Skeletons.local_reduce_with pool ~len:sub.rows
+            Skeletons.local_reduce_with ~ctx pool ~len:sub.rows
               ~chunk:(fun off n ->
                 let get = sub.local off n 0 sub.cols in
                 let acc = ref 0.0 in
@@ -258,7 +259,7 @@ let sum (t : float t) =
                 done;
                 !acc)
               ~merge:( +. ) ~init:0.0)
-          ~result_codec:Codec.float
+          ~result_codec:Codec.float ()
       in
       Array.fold_left ( +. ) 0.0 parts
 

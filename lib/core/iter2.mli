@@ -50,7 +50,7 @@ val par : 'a t -> 'a t
 val localpar : 'a t -> 'a t
 val sequential : 'a t -> 'a t
 
-val build : float t -> Matrix.t
+val build : ?ctx:Exec.t -> float t -> Matrix.t
 (** Materialize: sequential fill, row-band parallelism on the pool, or a
     near-square grid of node blocks, each shipped only its input slice
     and blitted back into place. *)
@@ -63,7 +63,7 @@ val transpose_iter : Matrix.t -> float t
 (** Transposition as a 2-D iterator:
     [[A[x,y] for (y,x) in arrayRange((0,0),(h,w))]]. *)
 
-val sum : float t -> float
+val sum : ?ctx:Exec.t -> float t -> float
 (** Reduce to a scalar, distributed over the same block grid as
     {!build}. *)
 

@@ -145,13 +145,13 @@ let fill_slab (t : float t) (out : Grid3.t) ~z0 ~n ~out_z0 =
     done
   done
 
-let node_slabs nz =
-  Partition.blocks ~parts:(Config.get_cluster ()).Cluster.nodes nz
+let node_slabs ctx nz = Partition.blocks ~parts:ctx.Exec.nodes nz
 
 (** Materialize a 3-D float iterator as a grid: sequential fill, z-plane
     parallelism on the pool, or node slabs shipped as sliced payloads
     and blitted back into place. *)
-let build (t : float t) =
+let build ?ctx (t : float t) =
+  let ctx = Exec.resolve ctx in
   let out = Grid3.create t.nx t.ny t.nz in
   (match t.hint with
   | Iter.Sequential -> fill_slab t out ~z0:0 ~n:t.nz ~out_z0:0
@@ -159,26 +159,26 @@ let build (t : float t) =
       (* z-slab extents come from the adaptive scheduler: contiguous
          plane ranges, split on demand when some planes cost more. *)
       let pool = Triolet_runtime.Pool.default () in
-      Triolet_runtime.Pool.parallel_range pool ?grain:!Config.grain_size
-        ~lo:0 ~hi:t.nz
+      Triolet_runtime.Pool.parallel_range pool ?grain:ctx.Exec.grain ~lo:0
+        ~hi:t.nz
         ~f:(fun z0 n -> fill_slab t out ~z0 ~n ~out_z0:z0)
         ~merge:(fun () () -> ())
         ~init:() ()
   | Iter.Distributed ->
-      let slabs = node_slabs t.nz in
+      let slabs = node_slabs ctx t.nz in
+      let grain = ctx.Exec.grain in
       let results =
-        Skeletons.distributed_map_blocks ~blocks:slabs
+        Skeletons.distributed_map_blocks ~ctx ~blocks:slabs
           ~payload_of:(fun (z0, n) -> t.payload_of z0 n)
           ~node_work:(fun ~pool payload ->
             let sub = t.rebuild payload in
             let slab = Grid3.create sub.nx sub.ny sub.nz in
-            Triolet_runtime.Pool.parallel_range pool
-              ?grain:!Config.grain_size ~lo:0 ~hi:sub.nz
+            Triolet_runtime.Pool.parallel_range pool ?grain ~lo:0 ~hi:sub.nz
               ~f:(fun z0 n -> fill_slab sub slab ~z0 ~n ~out_z0:z0)
               ~merge:(fun () () -> ())
               ~init:() ();
             Grid3.data slab)
-          ~result_codec:Codec.floatarray
+          ~result_codec:Codec.floatarray ()
       in
       Array.iteri
         (fun k data ->
@@ -189,7 +189,8 @@ let build (t : float t) =
   out
 
 (** Reduce a 3-D float iterator to a scalar over node slabs. *)
-let sum (t : float t) =
+let sum ?ctx (t : float t) =
+  let ctx = Exec.resolve ctx in
   let slab_sum z0 n =
     let get = t.local z0 n in
     let acc = ref 0.0 in
@@ -205,12 +206,13 @@ let sum (t : float t) =
   match t.hint with
   | Iter.Sequential -> slab_sum 0 t.nz
   | Iter.Local ->
-      Skeletons.local_reduce ~len:t.nz ~chunk:slab_sum ~merge:( +. ) ~init:0.0
+      Skeletons.local_reduce ~ctx ~len:t.nz ~chunk:slab_sum ~merge:( +. )
+        ~init:0.0 ()
   | Iter.Distributed ->
-      Skeletons.distributed_reduce ~len:t.nz ~payload_of:t.payload_of
+      Skeletons.distributed_reduce ~ctx ~len:t.nz ~payload_of:t.payload_of
         ~node_work:(fun ~pool payload ->
           let sub = t.rebuild payload in
-          Skeletons.local_reduce_with pool ~len:sub.nz
+          Skeletons.local_reduce_with ~ctx pool ~len:sub.nz
             ~chunk:(fun z0 n ->
               let get = sub.local z0 n in
               let acc = ref 0.0 in
@@ -223,4 +225,4 @@ let sum (t : float t) =
               done;
               !acc)
             ~merge:( +. ) ~init:0.0)
-        ~result_codec:Codec.float ~merge:( +. ) ~init:0.0
+        ~result_codec:Codec.float ~merge:( +. ) ~init:0.0 ()

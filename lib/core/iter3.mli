@@ -37,8 +37,8 @@ val par : 'a t -> 'a t
 val localpar : 'a t -> 'a t
 val sequential : 'a t -> 'a t
 
-val build : float t -> Grid3.t
+val build : ?ctx:Exec.t -> float t -> Grid3.t
 (** Materialize; distributed slabs are shipped back and blitted into
     place. *)
 
-val sum : float t -> float
+val sum : ?ctx:Exec.t -> float t -> float

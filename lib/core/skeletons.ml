@@ -6,7 +6,12 @@
 
     These functions know nothing about iterators; they distribute
     abstract chunk ranges and payloads.  The [Iter]/[Iter2] consumers
-    instantiate them with chunk bodies built from the iterator. *)
+    instantiate them with chunk bodies built from the iterator.
+
+    Every skeleton takes an optional execution context [?ctx]
+    ({!Exec.t}): geometry, transport backend, fault plan and grain
+    policy.  Omitted, the ambient context applies — which is how the
+    deprecated [Config] setters still steer everything. *)
 
 module Pool = Triolet_runtime.Pool
 module Cluster = Triolet_runtime.Cluster
@@ -15,16 +20,33 @@ module Payload = Triolet_base.Payload
 module Codec = Triolet_base.Codec
 module Obs = Triolet_obs.Obs
 
-(* A single-threaded pool for flat (Eden-model) node execution. *)
+(* A single-threaded pool for flat (Eden-model) node execution.  Lazily
+   created under a lock: two domains racing here used to create (and
+   leak) two pools. *)
+let seq_pool_lock = Mutex.create ()
 let seq_pool_ref : Pool.t option ref = ref None
 
 let seq_pool () =
-  match !seq_pool_ref with
-  | Some p -> p
-  | None ->
-      let p = Pool.create ~workers:1 () in
-      seq_pool_ref := Some p;
-      p
+  Mutex.lock seq_pool_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock seq_pool_lock)
+    (fun () ->
+      match !seq_pool_ref with
+      | Some p -> p
+      | None ->
+          let p = Pool.create ~workers:1 () in
+          seq_pool_ref := Some p;
+          p)
+
+(* Pool selection for the distributed skeletons.  Under the process
+   backend the parent supplies no pool at all: each forked node builds
+   its own, and merely touching [Pool.default] here could spawn domains
+   and make the fork impossible. *)
+let node_pool (topo : Cluster.topology) =
+  match topo.Cluster.backend with
+  | Cluster.Flat -> Some (seq_pool ())
+  | Cluster.Inprocess -> Some (Pool.default ())
+  | Cluster.Process -> None
 
 (** Shared-memory parallel reduction over [len] outer iterations on the
     work-stealing pool's adaptive lazy-splitting scheduler.  [chunk off n]
@@ -32,24 +54,26 @@ let seq_pool () =
     scheduler chooses the [n]s, splitting ranges on demand so skewed
     per-iteration cost (filtered or nested loops) rebalances across
     workers; per-worker partials are merged locally first. *)
-let local_reduce_with pool ~len ~chunk ~merge ~init =
+let local_reduce_with ?ctx pool ~len ~chunk ~merge ~init =
+  let ctx = Exec.resolve ctx in
   Obs.span ~name:"skel.local_reduce" (fun () ->
-      Pool.parallel_range pool ?grain:!Config.grain_size ~lo:0 ~hi:len ~f:chunk
+      Pool.parallel_range pool ?grain:ctx.Exec.grain ~lo:0 ~hi:len ~f:chunk
         ~merge ~init ())
 
-let local_reduce ~len ~chunk ~merge ~init =
-  local_reduce_with (Pool.default ()) ~len ~chunk ~merge ~init
+let local_reduce ?ctx ~len ~chunk ~merge ~init () =
+  local_reduce_with ?ctx (Pool.default ()) ~len ~chunk ~merge ~init
 
 (** Order-preserving chunked map: runs [chunk] over each block of
     [len] on the pool and returns the per-block results in block order.
     Used by consumers that pack variable-length output, where
     concatenation order matters. *)
-let local_map_chunks_with pool ~len ~chunk =
+let local_map_chunks_with ?ctx pool ~len ~chunk =
+  let ctx = Exec.resolve ctx in
   if len <= 0 then [||]
   else
     Obs.span ~name:"skel.local_map_chunks" (fun () ->
         let parts =
-          Partition.chunk_count ~multiplier:!Config.chunk_multiplier
+          Partition.chunk_count ~multiplier:ctx.Exec.chunk_multiplier
             ~workers:(Pool.size pool) len
         in
         let blocks = Partition.blocks ~parts len in
@@ -59,58 +83,75 @@ let local_map_chunks_with pool ~len ~chunk =
             out.(k) <- Some (chunk off n));
         Array.map Option.get out)
 
-let local_map_chunks ~len ~chunk =
-  local_map_chunks_with (Pool.default ()) ~len ~chunk
+let local_map_chunks ?ctx ~len ~chunk () =
+  local_map_chunks_with ?ctx (Pool.default ()) ~len ~chunk
 
 (** Distributed reduction: partition [len] outer iterations across the
-    configured cluster, ship each node its payload (serialized), run
+    context's cluster, ship each node its payload (serialized), run
     [node_work] against the decoded payload with intra-node parallelism,
     and merge the nodes' serialized replies.  In flat mode the work
-    units are single-core processes. *)
-let distributed_reduce ~len ~payload_of ~node_work ~result_codec ~merge ~init
-    =
+    units are single-core processes; under the process backend each
+    node is a forked OS process with a private pool. *)
+let distributed_reduce ?ctx ~len ~payload_of ~node_work ~result_codec ~merge
+    ~init () =
+  let ctx = Exec.resolve ctx in
   Obs.span ~name:"skel.distributed_reduce" (fun () ->
-  let cfg = Config.get_cluster () in
-  let workers =
-    if cfg.Cluster.flat then cfg.Cluster.nodes * cfg.Cluster.cores_per_node
-    else cfg.Cluster.nodes
-  in
-  let blocks = Partition.blocks ~parts:workers len in
-  let nblocks = Array.length blocks in
-  let pool = if cfg.Cluster.flat then seq_pool () else Pool.default () in
-  let result, _report =
-    Cluster.run ~pool ?faults:(Config.get_faults ()) cfg
-      ~scatter:(fun node ->
-        if node < nblocks then
-          let off, n = blocks.(node) in
-          payload_of off n
-        else Payload.empty)
-      ~work:(fun ~node ~pool payload ->
-        if node < nblocks then Some (node_work ~pool payload) else None)
-      ~result_codec:(Codec.option result_codec)
-      ~merge:(fun acc r ->
-        match r with None -> acc | Some v -> merge acc v)
-      ~init
-  in
-  result)
+      let topo = Exec.topology ctx in
+      let workers = Cluster.topology_workers topo in
+      let blocks = Partition.blocks ~parts:workers len in
+      let nblocks = Array.length blocks in
+      let result, _report =
+        Cluster.run_topology ?pool:(node_pool topo) ?faults:ctx.Exec.faults
+          topo
+          ~scatter:(fun node ->
+            if node < nblocks then
+              let off, n = blocks.(node) in
+              payload_of off n
+            else Payload.empty)
+          ~work:(fun ~node ~pool payload ->
+            if node < nblocks then Some (node_work ~pool payload) else None)
+          ~result_codec:(Codec.option result_codec)
+          ~merge:(fun acc r -> match r with None -> acc | Some v -> merge acc v)
+          ~init
+      in
+      result)
 
 (** Distributed map in block order: like {!distributed_reduce} but
     returns the per-node results as an array indexed by block. *)
-let distributed_map_blocks ~blocks ~payload_of ~node_work ~result_codec =
+let distributed_map_blocks ?ctx ~blocks ~payload_of ~node_work ~result_codec ()
+    =
+  let ctx = Exec.resolve ctx in
   Obs.span ~name:"skel.distributed_map_blocks" (fun () ->
-  let cfg = Config.get_cluster () in
-  let nblocks = Array.length blocks in
-  let pool = if cfg.Cluster.flat then seq_pool () else Pool.default () in
-  let results = ref [] in
-  let (), _report =
-    Cluster.run ~pool ?faults:(Config.get_faults ())
-      { cfg with Cluster.nodes = nblocks; flat = false }
-      ~scatter:(fun node -> payload_of blocks.(node))
-      ~work:(fun ~node ~pool payload -> (node, node_work ~pool payload))
-      ~result_codec:(Codec.pair Codec.int result_codec)
-      ~merge:(fun () (node, r) -> results := (node, r) :: !results)
-      ~init:()
-  in
-  let out = Array.make nblocks None in
-  List.iter (fun (node, r) -> out.(node) <- Some r) !results;
-  Array.map Option.get out)
+      let base = Exec.topology ctx in
+      let nblocks = Array.length blocks in
+      (* One node per block.  Flat mode degrades to in-process
+         single-core nodes here (the historical [flat = false] override
+         with a sequential pool); the other backends keep their
+         transport. *)
+      let topo =
+        {
+          base with
+          Cluster.nodes = nblocks;
+          backend =
+            (match base.Cluster.backend with
+            | Cluster.Flat -> Cluster.Inprocess
+            | b -> b);
+        }
+      in
+      let pool =
+        match base.Cluster.backend with
+        | Cluster.Flat -> Some (seq_pool ())
+        | _ -> node_pool topo
+      in
+      let results = ref [] in
+      let (), _report =
+        Cluster.run_topology ?pool ?faults:ctx.Exec.faults topo
+          ~scatter:(fun node -> payload_of blocks.(node))
+          ~work:(fun ~node ~pool payload -> (node, node_work ~pool payload))
+          ~result_codec:(Codec.pair Codec.int result_codec)
+          ~merge:(fun () (node, r) -> results := (node, r) :: !results)
+          ~init:()
+      in
+      let out = Array.make nblocks None in
+      List.iter (fun (node, r) -> out.(node) <- Some r) !results;
+      Array.map Option.get out)

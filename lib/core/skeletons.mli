@@ -1,12 +1,17 @@
 (** Low-level skeletons: the glue between iterator consumers and the
     runtime (paper, section 3.4).  These know nothing about iterators;
     they distribute abstract chunk ranges and payloads.  [Iter] and
-    [Iter2] instantiate them with chunk bodies built from iterators. *)
+    [Iter2] instantiate them with chunk bodies built from iterators.
+
+    All take an optional {!Exec.t} execution context; omitted, the
+    ambient context applies. *)
 
 val seq_pool : unit -> Triolet_runtime.Pool.t
-(** Shared 1-wide pool for flat (process-per-core) node execution. *)
+(** Shared 1-wide pool for flat (process-per-core) node execution.
+    Thread-safe lazy creation. *)
 
 val local_reduce_with :
+  ?ctx:Exec.t ->
   Triolet_runtime.Pool.t ->
   len:int ->
   chunk:(int -> int -> 'r) ->
@@ -15,36 +20,53 @@ val local_reduce_with :
   'r
 (** Shared-memory parallel reduction over [len] outer iterations on the
     adaptive lazy-splitting scheduler (ranges split on demand, grain
-    from [Config.grain_size] or auto); per-worker local merging first. *)
+    from the context or auto); per-worker local merging first. *)
 
 val local_reduce :
-  len:int -> chunk:(int -> int -> 'r) -> merge:('r -> 'r -> 'r) -> init:'r -> 'r
+  ?ctx:Exec.t ->
+  len:int ->
+  chunk:(int -> int -> 'r) ->
+  merge:('r -> 'r -> 'r) ->
+  init:'r ->
+  unit ->
+  'r
 (** {!local_reduce_with} on the default pool. *)
 
 val local_map_chunks_with :
-  Triolet_runtime.Pool.t -> len:int -> chunk:(int -> int -> 'r) -> 'r array
+  ?ctx:Exec.t ->
+  Triolet_runtime.Pool.t ->
+  len:int ->
+  chunk:(int -> int -> 'r) ->
+  'r array
 (** Order-preserving chunked map: per-block results in block order, for
     consumers that pack variable-length output. *)
 
-val local_map_chunks : len:int -> chunk:(int -> int -> 'r) -> 'r array
+val local_map_chunks :
+  ?ctx:Exec.t -> len:int -> chunk:(int -> int -> 'r) -> unit -> 'r array
 
 val distributed_reduce :
+  ?ctx:Exec.t ->
   len:int ->
   payload_of:(int -> int -> Triolet_base.Payload.t) ->
   node_work:(pool:Triolet_runtime.Pool.t -> Triolet_base.Payload.t -> 'r) ->
   result_codec:'r Triolet_base.Codec.t ->
   merge:('r -> 'r -> 'r) ->
   init:'r ->
+  unit ->
   'r
-(** Partition [len] outer iterations across the configured cluster, ship
+(** Partition [len] outer iterations across the context's cluster, ship
     each worker its serialized payload slice, run [node_work] against
     the decoded payload with intra-node parallelism, merge the
-    serialized replies. *)
+    serialized replies.  The context's backend chooses the transport;
+    under [Process], [node_work] executes in a forked child on the
+    child's own pool. *)
 
 val distributed_map_blocks :
+  ?ctx:Exec.t ->
   blocks:'blk array ->
   payload_of:('blk -> Triolet_base.Payload.t) ->
   node_work:(pool:Triolet_runtime.Pool.t -> Triolet_base.Payload.t -> 'r) ->
   result_codec:'r Triolet_base.Codec.t ->
+  unit ->
   'r array
 (** One worker per block; results returned in block order. *)

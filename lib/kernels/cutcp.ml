@@ -100,9 +100,9 @@ let pipeline ?(hint = Iter.par) (c : D.cutcp) =
   let atoms = Iter.map (fun ((x, y, z), q) -> (x, y, z, q)) atoms in
   Iter.concat_map (grid_pts c) (hint atoms)
 
-let run_triolet ?hint (c : D.cutcp) : floatarray =
+let run_triolet ?ctx ?hint (c : D.cutcp) : floatarray =
   Triolet_obs.Obs.span ~name:"kernel.cutcp" (fun () ->
-      Iter.scatter_add ~size:(D.grid_points c) (pipeline ?hint c))
+      Iter.scatter_add ?ctx ~size:(D.grid_points c) (pipeline ?hint c))
 
 (* ------------------------------------------------------------------ *)
 

@@ -10,6 +10,7 @@ val run_c : Dataset.cutcp -> floatarray
 (** Nested loops and conditionals over unboxed arrays. *)
 
 val run_triolet :
+  ?ctx:Triolet.Exec.t ->
   ?hint:
     ((float * float * float * float) Triolet.Iter.t ->
      (float * float * float * float) Triolet.Iter.t) ->

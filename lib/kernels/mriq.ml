@@ -87,9 +87,9 @@ let pipeline ?(hint = Iter.par) (d : D.mriq) =
   in
   Iter.map voxel_sum (hint voxels)
 
-let run_triolet ?hint (d : D.mriq) : result =
+let run_triolet ?ctx ?hint (d : D.mriq) : result =
   Triolet_obs.Obs.span ~name:"kernel.mriq" (fun () ->
-      let qr, qi = Iter.collect_float_pairs (pipeline ?hint d) in
+      let qr, qi = Iter.collect_float_pairs ?ctx (pipeline ?hint d) in
       { qr; qi })
 
 (* ------------------------------------------------------------------ *)

@@ -8,13 +8,15 @@ val run_c : Dataset.mriq -> result
     arrays; the normalization baseline of every figure. *)
 
 val run_triolet :
+  ?ctx:Triolet.Exec.t ->
   ?hint:
     ((float * float * float) Triolet.Iter.t ->
      (float * float * float) Triolet.Iter.t) ->
   Dataset.mriq ->
   result
 (** The paper's two-liner: a parallel map over voxels of a sequential
-    sum over samples.  [hint] defaults to [Iter.par]. *)
+    sum over samples.  [hint] defaults to [Iter.par]; [ctx] selects the
+    execution context (geometry, transport backend, faults). *)
 
 val pipeline :
   ?hint:

@@ -49,9 +49,9 @@ let pipeline ?(alpha = 1.0) ?(hint = Iter2.par) (a : Matrix.t) (b : Matrix.t)
   let zipped_ab = Iter2.outer_product (Iter2.rows a) (Iter2.rows bt) in
   hint (Iter2.map (fun (u, v) -> alpha *. Matrix.view_dot u v) zipped_ab)
 
-let run_triolet ?alpha ?hint (a : Matrix.t) (b : Matrix.t) : Matrix.t =
+let run_triolet ?ctx ?alpha ?hint (a : Matrix.t) (b : Matrix.t) : Matrix.t =
   Triolet_obs.Obs.span ~name:"kernel.sgemm" (fun () ->
-      Iter2.build (pipeline ?alpha ?hint a b))
+      Iter2.build ?ctx (pipeline ?alpha ?hint a b))
 
 (* Eden-style, following the paper's Eden code: arrays are kept "in
    chunked form" — boxed lists of unboxed row vectors — so tasks can be

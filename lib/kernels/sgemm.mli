@@ -6,6 +6,7 @@ val run_c : ?alpha:float -> Triolet.Matrix.t -> Triolet.Matrix.t -> Triolet.Matr
 (** Imperative loop nest over unboxed arrays. *)
 
 val run_triolet :
+  ?ctx:Triolet.Exec.t ->
   ?alpha:float ->
   ?hint:(float Triolet.Iter2.t -> float Triolet.Iter2.t) ->
   Triolet.Matrix.t ->

@@ -83,7 +83,8 @@ let run_c ~bins (d : D.tpacf) : result =
    split out as a plan-reification hook. *)
 let score_pipeline ~bins pairs = Iter.map (fun (u, v) -> score ~bins u v) pairs
 
-let correlation ~bins pairs = Iter.histogram ~bins (score_pipeline ~bins pairs)
+let correlation ?ctx ~bins pairs =
+  Iter.histogram ?ctx ~bins (score_pipeline ~bins pairs)
 
 (* Triangular pair loop over one catalog:
      indexed = zip(indices(domain(rand)), rand)
@@ -133,9 +134,9 @@ let random_sets_pipeline corr1 (rands : D.catalog array) =
 
 (* randomSetsCorrelation: a parallel reduction over the random sets that
    sums their histograms (Figure 6, lines 6-11). *)
-let random_sets_correlation ~bins corr1 (rands : D.catalog array) =
+let random_sets_correlation ?ctx ~bins corr1 (rands : D.catalog array) =
   let add h1 h2 = Array.mapi (fun i x -> x + h2.(i)) h1 in
-  Iter.reduce ~codec:Triolet_base.Codec.int_array ~merge:add
+  Iter.reduce ?ctx ~codec:Triolet_base.Codec.int_array ~merge:add
     ~init:(Array.make bins 0)
     (random_sets_pipeline corr1 rands)
 
@@ -149,23 +150,26 @@ let dd_pipeline ~bins (d : D.tpacf) =
 let rr_pipeline ~bins (d : D.tpacf) =
   random_sets_pipeline (fun r -> correlation ~bins (self_pairs r)) d.D.randoms
 
-let run_triolet ~bins (d : D.tpacf) : result =
+let run_triolet ?ctx ~bins (d : D.tpacf) : result =
   let module Obs = Triolet_obs.Obs in
   (* One span per pipeline stage: DD is the shared-memory triangular
-     loop; DR and RR are distributed reductions over random sets. *)
+     loop; DR and RR are distributed reductions over random sets.  The
+     per-set correlations inside the distributed reductions run on the
+     node's own pool and must not re-enter the distributed context, so
+     they take no [?ctx]. *)
   let dd =
     Obs.span ~name:"kernel.tpacf.dd" (fun () ->
-        correlation ~bins (self_pairs d.D.observed))
+        correlation ?ctx ~bins (self_pairs d.D.observed))
   in
   let dr =
     Obs.span ~name:"kernel.tpacf.dr" (fun () ->
-        random_sets_correlation ~bins
+        random_sets_correlation ?ctx ~bins
           (fun r -> correlation ~bins (cross_pairs d.D.observed r))
           d.D.randoms)
   in
   let rr =
     Obs.span ~name:"kernel.tpacf.rr" (fun () ->
-        random_sets_correlation ~bins
+        random_sets_correlation ?ctx ~bins
           (fun r -> correlation ~bins (self_pairs r))
           d.D.randoms)
   in

@@ -11,7 +11,7 @@ val bin_of_dot : bins:int -> float -> int
 val run_c : bins:int -> Dataset.tpacf -> result
 (** Imperative nested loops with direct histogram updates. *)
 
-val run_triolet : bins:int -> Dataset.tpacf -> result
+val run_triolet : ?ctx:Triolet.Exec.t -> bins:int -> Dataset.tpacf -> result
 (** Follows the paper's Figure 6: a shared [correlation] over a pair
     iterator; a triangular nested comprehension for self-correlation;
     [par] over random sets with [localpar] pair loops inside. *)

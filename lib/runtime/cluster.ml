@@ -56,6 +56,36 @@ module Obs = Triolet_obs.Obs
    phase-sum coverage checks. *)
 let node_attr node = [ ("node", string_of_int node) ]
 
+(* Execution backends.  [Flat] folds what used to be a separate [flat]
+   boolean into the backend variant: it is the in-process transport with
+   Eden's flat process view (one logical worker per core, no intra-node
+   pool).  [Process] is the real multi-process transport: one forked OS
+   process per node, socketpair channels, a private pool per child. *)
+type backend =
+  | Inprocess  (** in-process nodes over mailbox channels *)
+  | Flat  (** Eden-style: one in-process worker per core, no node pool *)
+  | Process  (** one forked OS process per node, socket channels *)
+
+let backend_to_string = function
+  | Inprocess -> "inprocess"
+  | Flat -> "flat"
+  | Process -> "process"
+
+let backend_of_string = function
+  | "inprocess" -> Some Inprocess
+  | "flat" -> Some Flat
+  | "process" -> Some Process
+  | _ -> None
+
+type topology = { nodes : int; cores_per_node : int; backend : backend }
+
+let default_topology = { nodes = 4; cores_per_node = 2; backend = Inprocess }
+
+let topology_workers (t : topology) =
+  match t.backend with
+  | Flat -> t.nodes * t.cores_per_node
+  | Inprocess | Process -> t.nodes
+
 type config = {
   nodes : int;
   cores_per_node : int;
@@ -65,6 +95,20 @@ type config = {
 }
 
 let default_config = { nodes = 4; cores_per_node = 2; flat = false }
+
+let topology_of_config (c : config) =
+  {
+    nodes = c.nodes;
+    cores_per_node = c.cores_per_node;
+    backend = (if c.flat then Flat else Inprocess);
+  }
+
+let config_of_topology (t : topology) =
+  {
+    nodes = t.nodes;
+    cores_per_node = t.cores_per_node;
+    flat = (t.backend = Flat);
+  }
 
 type report = {
   scatter_bytes : int;  (** bytes shipped main -> nodes (retries included) *)
@@ -111,9 +155,6 @@ let pp_report fmt r =
       r.crashed_nodes
       (float_of_int r.recovery_ns /. 1e6)
 
-let worker_count cfg =
-  if cfg.flat then cfg.nodes * cfg.cores_per_node else cfg.nodes
-
 (* ------------------------------------------------------------------ *)
 (* Fault-free path: byte-for-byte the original protocol.  Replies are
    accumulated per worker and folded in worker order; arrival order
@@ -121,8 +162,7 @@ let worker_count cfg =
    mailboxes are FIFO), so results and reports are unchanged — but the
    merge-order contract no longer depends on that coincidence. *)
 
-let run_clean pool cfg ~scatter ~work ~result_codec ~merge ~init =
-  let workers = worker_count cfg in
+let run_clean pool ~workers ~scatter ~work ~result_codec ~merge ~init =
   let mailboxes = Array.init workers (fun _ -> Mailbox.create ()) in
   let return_box = Mailbox.create () in
   let scatter_bytes = ref 0 and scatter_msgs = ref 0 in
@@ -219,8 +259,7 @@ let () =
              worker attempts)
     | _ -> None)
 
-let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
-  let workers = worker_count cfg in
+let run_faulty pool ~workers spec ~scatter ~work ~result_codec ~merge ~init =
   let fault = Fault.make spec in
   let mailboxes = Array.init workers (fun _ -> Mailbox.create ()) in
   let return_box = Mailbox.create () in
@@ -469,14 +508,446 @@ let run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init =
     } )
 
 (* ------------------------------------------------------------------ *)
+(* Multi-process backend: nodes are forked OS processes, channels are
+   socketpairs, and the address-space isolation the in-process backends
+   only assert by convention is enforced by the kernel.  Task code
+   crosses the [fork] (the child inherits the closure); task data only
+   ever crosses the socket as the same codec bytes the mailbox engines
+   ship.  The frame header (length + kind) is transport framing and is
+   excluded from byte accounting, so a clean run reports identical
+   traffic under either backend. *)
+
+(* In the children: the logical node id, for task code that needs to
+   know where it physically runs (e.g. a test killing one node). *)
+let current_node : int option ref = ref None
+let on_node () = !current_node
+
+let ensure_forkable () =
+  if Pool.domains_ever_spawned () then
+    failwith
+      "Cluster: the process backend forks one OS process per node, and \
+       OCaml cannot fork once any domain has been spawned.  Select the \
+       backend before creating any multi-domain pool (e.g. run with \
+       TRIOLET_BACKEND=process so the default pool stays single-domain)."
+
+(* Remote failure report: the worker id whose task raised, plus the
+   exception rendered as text (exceptions, like all code, never cross a
+   socket). *)
+let err_codec = Codec.(pair int string)
+
+let run_proc_clean (topo : topology) ~workers ~scatter ~work ~result_codec ~merge ~init =
+  ensure_forkable ();
+  (* Child serve loop, inherited across the fork: read task frames until
+     EOF, compute on a lazily created node-local pool, reply.  Runs in
+     its own process — nothing it does (pool domains, Stats, GC) is
+     visible to the parent except the reply bytes. *)
+  let serve ~id chan =
+    current_node := Some id;
+    let pool = lazy (Pool.create ~workers:topo.cores_per_node ()) in
+    let rec loop () =
+      match Transport.Socket.recv chan with
+      | exception Transport.Closed -> ()
+      | (Transport.Err | Transport.Nack), _ -> loop ()
+      | Transport.Data, bytes ->
+          (match
+             let payload = Codec.of_bytes Payload.codec bytes in
+             work ~node:id ~pool:(Lazy.force pool) payload
+           with
+          | r -> Transport.Socket.send chan (Codec.to_bytes result_codec r)
+          | exception e ->
+              Transport.Socket.send chan ~kind:Transport.Err
+                (Codec.to_bytes err_codec (id, Printexc.to_string e)));
+          loop ()
+    in
+    loop ()
+  in
+  let fabric = Transport.Proc.fork ~n:workers ~child:serve in
+  Fun.protect
+    ~finally:(fun () -> Transport.Proc.shutdown fabric)
+    (fun () ->
+      let scatter_bytes = ref 0 and scatter_msgs = ref 0 in
+      let gather_bytes = ref 0 and gather_msgs = ref 0 in
+      let max_msg = ref 0 in
+      for node = 0 to workers - 1 do
+        let bytes =
+          Obs.span ~name:"cluster.serialize" ~attrs:(node_attr node)
+            (fun () -> Codec.to_bytes Payload.codec (scatter node))
+        in
+        max_msg := max !max_msg (Bytes.length bytes);
+        scatter_bytes := !scatter_bytes + Bytes.length bytes;
+        incr scatter_msgs;
+        Stats.record_message ~bytes:(Bytes.length bytes);
+        Log.debug (fun m ->
+            m "scatter: %d bytes to process node %d" (Bytes.length bytes) node);
+        Obs.span ~name:"cluster.send" ~attrs:(node_attr node) (fun () ->
+            Transport.Socket.send (Transport.Proc.node fabric node).chan bytes)
+      done;
+      (* Gather: one blocking read per child, in worker order — the
+         reply's provenance is its socket, so no tags are needed and
+         the merge order contract is explicit. *)
+      let results = Array.make workers None in
+      for w = 0 to workers - 1 do
+        let chan = (Transport.Proc.node fabric w).chan in
+        match
+          Obs.span ~name:"cluster.recv" ~attrs:(node_attr w) (fun () ->
+              Transport.Socket.recv chan)
+        with
+        | exception Transport.Closed ->
+            failwith
+              (Printf.sprintf
+                 "Cluster: process node %d died during a fault-free run \
+                  (use ?faults for recovery)"
+                 w)
+        | Transport.Err, bytes ->
+            let _, msg = Codec.of_bytes err_codec bytes in
+            failwith (Printf.sprintf "Cluster: node %d raised: %s" w msg)
+        | Transport.Nack, _ ->
+            failwith (Printf.sprintf "Cluster: node %d rejected its task" w)
+        | Transport.Data, reply ->
+            max_msg := max !max_msg (Bytes.length reply);
+            gather_bytes := !gather_bytes + Bytes.length reply;
+            incr gather_msgs;
+            Stats.record_message ~bytes:(Bytes.length reply);
+            results.(w) <- Some (Codec.of_bytes result_codec reply)
+      done;
+      let acc = ref init in
+      Obs.span ~name:"cluster.merge" (fun () ->
+          for w = 0 to workers - 1 do
+            match results.(w) with
+            | Some r -> acc := merge !acc r
+            | None -> assert false
+          done);
+      ( !acc,
+        {
+          clean_report with
+          scatter_bytes = !scatter_bytes;
+          gather_bytes = !gather_bytes;
+          scatter_messages = !scatter_msgs;
+          gather_messages = !gather_msgs;
+          max_message_bytes = !max_msg;
+        } ))
+
+let run_proc_faulty (topo : topology) ~workers spec ~scatter ~work ~result_codec ~merge
+    ~init =
+  ensure_forkable ();
+  let fault = Fault.make spec in
+  let scatter_codec = Codec.checksummed Codec.(triple int int Payload.codec) in
+  let reply_codec = Codec.checksummed Codec.(triple int int result_codec) in
+  (* Child serve loop under faults.  Link faults are injected on the
+     parent side of the sockets (one seeded stream, one schedule); the
+     child's share of the fault model is dying: a planned crash is a
+     real [_exit], indistinguishable on the wire from a [kill]ed child,
+     and both surface to the parent as EOF. *)
+  let serve ~id chan =
+    current_node := Some id;
+    let pool = lazy (Pool.create ~workers:topo.cores_per_node ()) in
+    let crash_here phase =
+      match spec.Fault.crash with
+      | Some (n, p) -> n = id && p = phase
+      | None -> false
+    in
+    let rec loop () =
+      match Transport.Socket.recv chan with
+      | exception Transport.Closed -> ()
+      | (Transport.Err | Transport.Nack), _ -> loop ()
+      | Transport.Data, bytes ->
+          (match Codec.of_bytes scatter_codec bytes with
+          | exception _ ->
+              (* Corrupt task envelope: reject loudly; the parent counts
+                 the drop and the retry machinery re-issues. *)
+              Transport.Socket.send chan ~kind:Transport.Nack Bytes.empty
+          | wk, _sq, payload -> (
+              if crash_here Fault.Before_work then Unix._exit 0;
+              match work ~node:wk ~pool:(Lazy.force pool) payload with
+              | exception e ->
+                  Transport.Socket.send chan ~kind:Transport.Err
+                    (Codec.to_bytes err_codec (wk, Printexc.to_string e))
+              | r ->
+                  if crash_here Fault.During_work then Unix._exit 0;
+                  if crash_here Fault.After_work then Unix._exit 0;
+                  Transport.Socket.send chan
+                    (Codec.to_bytes reply_codec (wk, _sq, r))));
+          loop ()
+    in
+    loop ()
+  in
+  (* Keep every worker's payload so a crashed node's slice can be
+     re-scattered; computed before the fork only for the parent's use
+     (tasks reach children as bytes, never by inheritance). *)
+  let payloads = Array.init workers scatter in
+  let fabric = Transport.Proc.fork ~n:workers ~child:serve in
+  Fun.protect
+    ~finally:(fun () -> Transport.Proc.shutdown fabric)
+    (fun () ->
+      let scatter_bytes = ref 0 and scatter_msgs = ref 0 in
+      let gather_bytes = ref 0 and gather_msgs = ref 0 in
+      let max_msg = ref 0 in
+      let retries = ref 0 and redeliveries = ref 0 and corrupt_drops = ref 0 in
+      let seq = Array.make workers 0 in
+      let results = Array.make workers None in
+      let attempts = Array.make workers 0 in
+      let failed_exn = Array.make workers None in
+      let corrupt_reject () =
+        incr corrupt_drops;
+        Stats.record_corrupt_drop ()
+      in
+      (* Parent-side analogue of [Mailbox.send_delayed]: a delayed frame
+         is parked here and only hits the wire (scatter) or the protocol
+         (gather) once the gather loop times out. *)
+      let delayed_out : (int * Bytes.t) Queue.t = Queue.create () in
+      let delayed_in : Bytes.t Queue.t = Queue.create () in
+      let pending_in : Bytes.t Queue.t = Queue.create () in
+      let node_alive target =
+        Transport.Proc.is_alive fabric target
+        && not (Fault.is_crashed fault target)
+      in
+      let write_frame target bytes =
+        if Transport.Proc.is_alive fabric target then begin
+          Stats.record_message ~bytes:(Bytes.length bytes);
+          try
+            Transport.Socket.send (Transport.Proc.node fabric target).chan
+              bytes
+          with Transport.Closed ->
+            (* The child died under our feet; its EOF will surface via
+               the gather select and mark it crashed. *)
+            ()
+        end
+      in
+      let send_scatter ~target wk =
+        seq.(wk) <- seq.(wk) + 1;
+        let bytes =
+          Obs.span ~name:"cluster.serialize" ~attrs:(node_attr wk) (fun () ->
+              Codec.to_bytes scatter_codec (wk, seq.(wk), payloads.(wk)))
+        in
+        max_msg := max !max_msg (Bytes.length bytes);
+        scatter_bytes := !scatter_bytes + Bytes.length bytes;
+        incr scatter_msgs;
+        attempts.(wk) <- attempts.(wk) + 1;
+        Log.debug (fun m ->
+            m "scatter: %d bytes for worker %d -> process node %d (attempt %d)"
+              (Bytes.length bytes) wk target attempts.(wk));
+        Obs.span ~name:"cluster.send" ~attrs:(node_attr target) (fun () ->
+            match Fault.decide fault ~link:(Fault.To_node target) bytes with
+            | `Drop -> ()
+            | `Deliver (bytes, delayed, dup) ->
+                if delayed then Queue.push (target, bytes) delayed_out
+                else write_frame target bytes;
+                if dup then write_frame target (Bytes.copy bytes))
+      in
+      let surviving_node ~for_worker =
+        let rec find i =
+          if i >= workers then None
+          else if node_alive i then Some i
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some n ->
+            Log.debug (fun m ->
+                m "worker %d: re-executing on surviving node %d" for_worker n);
+            n
+        | None ->
+            raise (Recovery_exhausted { worker = for_worker; attempts = 0 })
+      in
+      let outstanding = ref workers in
+      let process_reply bytes =
+        match Codec.of_bytes reply_codec bytes with
+        | exception e ->
+            Log.debug (fun m ->
+                m "gather: corrupt reply (%s)" (Printexc.to_string e));
+            corrupt_reject ()
+        | wk, sq, r ->
+            if wk < 0 || wk >= workers then corrupt_reject ()
+            else if results.(wk) <> None then begin
+              Log.debug (fun m -> m "gather: redelivery for worker %d" wk);
+              incr redeliveries;
+              Stats.record_redelivery ()
+            end
+            else begin
+              Log.debug (fun m ->
+                  m "gather: accepted worker %d (seq %d)" wk sq);
+              results.(wk) <- Some r;
+              decr outstanding
+            end
+      in
+      (* Initial round: scatter everything. *)
+      for w = 0 to workers - 1 do
+        send_scatter ~target:w w
+      done;
+      let round = ref 0 in
+      let recovery_started = ref None in
+      while !outstanding > 0 do
+        if not (Queue.is_empty pending_in) then
+          process_reply (Queue.pop pending_in)
+        else
+          match
+            Obs.span ~name:"cluster.recv" (fun () ->
+                Transport.Proc.recv_any fabric
+                  ~timeout:(Fault.timeout_for spec ~attempt:!round))
+          with
+          | `Msg (node, Transport.Data, bytes) -> (
+              (* Counted on arrival at the parent's edge of the link,
+                 before the gather-side fault roll — mirroring the
+                 mailbox engine, which counts a reply when the node
+                 serializes it, before [Fault.send] may drop it. *)
+              max_msg := max !max_msg (Bytes.length bytes);
+              gather_bytes := !gather_bytes + Bytes.length bytes;
+              incr gather_msgs;
+              Stats.record_message ~bytes:(Bytes.length bytes);
+              match Fault.decide fault ~link:(Fault.From_node node) bytes with
+              | `Drop -> ()
+              | `Deliver (bytes, delayed, dup) ->
+                  (* A duplicate is always delivered immediately even
+                     when the original is delayed, exactly like the
+                     mailbox path ([send_delayed] then [send]). *)
+                  if dup then Queue.push (Bytes.copy bytes) pending_in;
+                  if delayed then Queue.push bytes delayed_in
+                  else process_reply bytes)
+          | `Msg (_, Transport.Err, bytes) -> (
+              match Codec.of_bytes err_codec bytes with
+              | exception _ -> corrupt_reject ()
+              | wk, msg ->
+                  (* An exception inside [work] is a node failure for
+                     this attempt; re-raised only once recovery gives up
+                     on the worker (as text: exceptions do not cross
+                     process boundaries). *)
+                  Log.debug (fun m -> m "worker %d: work raised %s" wk msg);
+                  if wk >= 0 && wk < workers then
+                    failed_exn.(wk) <-
+                      Some (Failure (Printf.sprintf "node work raised: %s" msg)))
+          | `Msg (_, Transport.Nack, _) -> corrupt_reject ()
+          | `Eof node ->
+              if Fault.mark_crashed fault node then
+                Log.debug (fun m -> m "node %d: process died (EOF)" node)
+          | `Timeout | `No_nodes ->
+              (* The mailbox engine's timed-out [recv_timeout] promotes
+                 parked delayed messages; do the same before retrying. *)
+              Queue.transfer delayed_in pending_in;
+              Queue.iter (fun (target, bytes) -> write_frame target bytes)
+                delayed_out;
+              Queue.clear delayed_out;
+              if !recovery_started = None then
+                recovery_started := Some (Clock.monotonic_ns ());
+              incr round;
+              Obs.span ~name:"cluster.retry"
+                ~attrs:[ ("round", string_of_int !round) ]
+                (fun () ->
+                  for wk = 0 to workers - 1 do
+                    if results.(wk) = None then begin
+                      if attempts.(wk) >= spec.Fault.max_attempts then begin
+                        match failed_exn.(wk) with
+                        | Some e -> raise e
+                        | None ->
+                            raise
+                              (Recovery_exhausted
+                                 { worker = wk; attempts = attempts.(wk) })
+                      end;
+                      incr retries;
+                      Stats.record_retry ();
+                      Obs.instant ~name:"cluster.retry.reissue"
+                        ~attrs:(node_attr wk) ();
+                      let target =
+                        if node_alive wk then wk
+                        else surviving_node ~for_worker:wk
+                      in
+                      send_scatter ~target wk
+                    end
+                  done)
+      done;
+      (* Drain late traffic so redelivery accounting covers the replies
+         the retry machinery made superfluous, and so an injected
+         crash's EOF is observed even when every reply beat it in. *)
+      let drain_frame bytes =
+        match Codec.of_bytes reply_codec bytes with
+        | exception _ -> corrupt_reject ()
+        | wk, _, _ ->
+            if wk >= 0 && wk < workers then begin
+              incr redeliveries;
+              Stats.record_redelivery ()
+            end
+            else corrupt_reject ()
+      in
+      Queue.iter drain_frame pending_in;
+      Queue.clear pending_in;
+      Queue.iter drain_frame delayed_in;
+      Queue.clear delayed_in;
+      Queue.clear delayed_out;
+      let rec drain () =
+        match Transport.Proc.recv_any fabric ~timeout:0.01 with
+        | `Msg (_, Transport.Data, bytes) ->
+            max_msg := max !max_msg (Bytes.length bytes);
+            gather_bytes := !gather_bytes + Bytes.length bytes;
+            incr gather_msgs;
+            Stats.record_message ~bytes:(Bytes.length bytes);
+            drain_frame bytes;
+            drain ()
+        | `Msg (_, (Transport.Err | Transport.Nack), _) -> drain ()
+        | `Eof node ->
+            ignore (Fault.mark_crashed fault node);
+            drain ()
+        | `Timeout | `No_nodes -> ()
+      in
+      drain ();
+      let recovery_ns =
+        match !recovery_started with
+        | None -> 0
+        | Some t0 ->
+            let ns = Clock.monotonic_ns () - t0 in
+            Stats.record_recovery_ns ns;
+            ns
+      in
+      let acc = ref init in
+      Obs.span ~name:"cluster.merge" (fun () ->
+          for w = 0 to workers - 1 do
+            match results.(w) with
+            | Some r -> acc := merge !acc r
+            | None -> assert false
+          done);
+      let c = Fault.counters fault in
+      ( !acc,
+        {
+          scatter_bytes = !scatter_bytes;
+          gather_bytes = !gather_bytes;
+          scatter_messages = !scatter_msgs;
+          gather_messages = !gather_msgs;
+          max_message_bytes = !max_msg;
+          retries = !retries;
+          redeliveries = !redeliveries;
+          corrupt_drops = !corrupt_drops;
+          crashed_nodes = c.Fault.crashes;
+          faults_injected =
+            c.Fault.drops + c.Fault.duplicates + c.Fault.corruptions
+            + c.Fault.delays + c.Fault.crashes;
+          recovery_ns;
+        } ))
+
+(* ------------------------------------------------------------------ *)
+
+let run_topology ?pool ?faults (topo : topology) ~scatter ~work ~result_codec ~merge ~init =
+  if topo.nodes <= 0 || topo.cores_per_node <= 0 then
+    invalid_arg "Cluster.run: bad config";
+  let workers = topology_workers topo in
+  match topo.backend with
+  | Inprocess | Flat -> (
+      (* Nodes share the default pool, capped at the configured core
+         count; a fresh per-call pool would cost a domain spawn per
+         operation. *)
+      let pool = match pool with Some p -> p | None -> Pool.default () in
+      match faults with
+      | None -> run_clean pool ~workers ~scatter ~work ~result_codec ~merge ~init
+      | Some spec ->
+          run_faulty pool ~workers spec ~scatter ~work ~result_codec ~merge
+            ~init)
+  | Process -> (
+      (* The parent does no task work under this backend: each child
+         builds its own pool after the fork, so a caller-supplied pool
+         is irrelevant (and would break forkability if multi-domain). *)
+      ignore pool;
+      match faults with
+      | None -> run_proc_clean topo ~workers ~scatter ~work ~result_codec ~merge ~init
+      | Some spec ->
+          run_proc_faulty topo ~workers spec ~scatter ~work ~result_codec
+            ~merge ~init)
 
 let run ?pool ?faults cfg ~scatter ~work ~result_codec ~merge ~init =
-  if cfg.nodes <= 0 || cfg.cores_per_node <= 0 then
-    invalid_arg "Cluster.run: bad config";
-  (* Nodes share the default pool, capped at the configured core count;
-     a fresh per-call pool would cost a domain spawn per operation. *)
-  let pool = match pool with Some p -> p | None -> Pool.default () in
-  match faults with
-  | None -> run_clean pool cfg ~scatter ~work ~result_codec ~merge ~init
-  | Some spec ->
-      run_faulty pool cfg spec ~scatter ~work ~result_codec ~merge ~init
+  run_topology ?pool ?faults (topology_of_config cfg) ~scatter ~work
+    ~result_codec ~merge ~init

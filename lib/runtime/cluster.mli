@@ -1,14 +1,53 @@
 (** Two-level distributed runtime (paper, section 3.4).
 
-    Nodes are in-process entities whose only data channel is a mailbox
-    of serialized bytes: payloads are encoded, shipped, and decoded into
-    structurally fresh buffers, so a task can never touch the sender's
-    memory.  Task *code* travels as an OCaml closure (serializing code
-    is what the Triolet compiler adds); task *data* always travels as
-    bytes, and every byte is counted.
+    Nodes exchange *only* serialized bytes: payloads are encoded,
+    shipped over a transport, and decoded into structurally fresh
+    buffers, so a task can never touch the sender's memory.  Task *code*
+    travels as an OCaml closure (serializing code is what the Triolet
+    compiler adds); task *data* always travels as bytes, and every byte
+    is counted.
 
-    Unlike the paper's MPI runtime, [run] can survive injected node and
-    link failures: see {!Fault} and the [?faults] argument below. *)
+    Which transport carries the bytes is the {!backend} of the
+    {!topology}: in-process mailbox channels (the simulation the paper's
+    MPI ranks reduce to in one address space), Eden-style flat workers
+    over the same channels, or genuinely separate OS processes over
+    socketpairs ({!Process}), where the no-shared-memory guarantee is
+    enforced by the kernel rather than asserted by convention.
+
+    Unlike the paper's MPI runtime, a run can survive injected node and
+    link failures: see {!Fault} and the [?faults] argument below.  Under
+    the process backend a child killed from outside is recovered through
+    the same retry path as an injected crash. *)
+
+(** Where and how nodes execute and exchange bytes. *)
+type backend =
+  | Inprocess  (** in-process nodes over mailbox channels *)
+  | Flat
+      (** Eden's flat process view over mailbox channels: one
+          single-threaded worker per core, no shared memory within a
+          node *)
+  | Process
+      (** one forked OS process per node over socketpair framed
+          channels; each child runs its slice on a private
+          [cores_per_node]-wide pool.  The fork happens inside the run,
+          so it must be called before any domain has ever been spawned
+          in this process (an OCaml runtime restriction); keep the
+          parent single-domain, e.g. via [TRIOLET_BACKEND=process]. *)
+
+val backend_to_string : backend -> string
+
+val backend_of_string : string -> backend option
+(** ["inprocess"], ["flat"], ["process"]. *)
+
+type topology = { nodes : int; cores_per_node : int; backend : backend }
+(** The cluster geometry plus the transport that realizes it. *)
+
+val default_topology : topology
+(** 4 nodes, 2 cores each, in-process. *)
+
+val topology_workers : topology -> int
+(** Logical workers a run fans out to: [nodes * cores_per_node] under
+    {!Flat}, [nodes] otherwise. *)
 
 type config = {
   nodes : int;
@@ -17,8 +56,18 @@ type config = {
       (** [true] models Eden's flat process view: one single-threaded
           process per core and no shared memory within a node *)
 }
+(** Legacy shape, kept for existing callers; the [flat] boolean is
+    subsumed by {!backend}. *)
 
 val default_config : config
+
+val topology_of_config : config -> topology
+(** [flat = true] maps to {!Flat}, otherwise {!Inprocess} — never
+    {!Process}, so legacy entry points stay deterministic regardless of
+    environment. *)
+
+val config_of_topology : topology -> config
+(** Forgets the transport: [flat] is [backend = Flat]. *)
 
 type report = {
   scatter_bytes : int;
@@ -43,6 +92,42 @@ val pp_report : Format.formatter -> report -> unit
 exception Recovery_exhausted of { worker : int; attempts : int }
 (** A worker's result could never be obtained within the fault plan's
     attempt budget (or no surviving node remains). *)
+
+val run_topology :
+  ?pool:Pool.t ->
+  ?faults:Fault.spec ->
+  topology ->
+  scatter:(int -> Triolet_base.Payload.t) ->
+  work:(node:int -> pool:Pool.t -> Triolet_base.Payload.t -> 'r) ->
+  result_codec:'r Triolet_base.Codec.t ->
+  merge:('a -> 'r -> 'a) ->
+  init:'a ->
+  'a * report
+(** Like {!run}, but the transport comes from the topology instead of
+    being hard-coded.  Semantics per backend:
+
+    - {!Inprocess} / {!Flat}: exactly the historical behaviour —
+      in-process nodes over mailboxes, [?pool] (default {!Pool.default})
+      providing intra-node parallelism.
+    - {!Process}: forks one OS process per node before doing anything
+      else, ships each [scatter w] as bytes over a socketpair, and
+      gathers replies per-child in worker order.  The task closure
+      crosses the [fork] by address-space inheritance; data crosses only
+      the socket.  [?pool] is ignored — each child lazily builds its own
+      [cores_per_node]-wide pool.  Fails fast (with an explanatory
+      [Failure]) if a domain was ever spawned in this process, since
+      OCaml then forbids [fork].  On the fault path the envelope /
+      retry / recovery protocol is the mailbox one, with link faults
+      injected parent-side from the same seeded stream and crashes
+      realized as real child exits; a child killed externally (EOF on
+      its channel) is recovered exactly like an injected crash.  On the
+      clean path, byte and message accounting (payload bytes; frame
+      headers excluded) matches the in-process backend exactly. *)
+
+val on_node : unit -> int option
+(** Inside a process-backend child: the id of the node this process
+    is.  [None] in the parent and under in-process backends (where
+    task code can instead trust [work]'s [~node] argument). *)
 
 val run :
   ?pool:Pool.t ->

@@ -187,17 +187,22 @@ let straggle_now t link =
       true
   | To_node _ | From_node _ -> false
 
-(** [send t ~link mb bytes] delivers [bytes] through [mb], applying the
-    link's faults: possibly dropping, corrupting, delaying or
-    duplicating the message.  Counted in {!counters} and {!Stats}. *)
-let send t ~link mb bytes =
+(** [decide t ~link bytes] draws this message's fate from the seeded
+    stream without touching any channel: [`Drop], or
+    [`Deliver (bytes', delayed, duplicated)] where [bytes'] may have one
+    byte flipped.  The draw order (drop, corrupt, delay, duplicate) is
+    the wire contract every transport shares — both the mailbox and the
+    socket backends route their traffic through this single function, so
+    a fault plan means the same thing on either.  Counted in
+    {!counters} and {!Stats}. *)
+let decide t ~link bytes =
   Mutex.lock t.lock;
   let lf = t.s.faults_of link in
   let dropped = roll t lf.drop in
   let decision =
     if dropped then begin
       bump t (fun c -> { c with drops = c.drops + 1 });
-      None
+      `Drop
     end
     else begin
       let bytes =
@@ -212,12 +217,39 @@ let send t ~link mb bytes =
         bump t (fun c -> { c with delays = c.delays + 1 });
       let dup = roll t lf.duplicate in
       if dup then bump t (fun c -> { c with duplicates = c.duplicates + 1 });
-      Some (bytes, delayed, dup)
+      `Deliver (bytes, delayed, dup)
     end
   in
   Mutex.unlock t.lock;
-  match decision with
-  | None -> ()
-  | Some (bytes, delayed, dup) ->
+  decision
+
+(** [send t ~link mb bytes] delivers [bytes] through [mb], applying the
+    link's faults: possibly dropping, corrupting, delaying or
+    duplicating the message.  Counted in {!counters} and {!Stats}. *)
+let send t ~link mb bytes =
+  match decide t ~link bytes with
+  | `Drop -> ()
+  | `Deliver (bytes, delayed, dup) ->
       if delayed then Mailbox.send_delayed mb bytes else Mailbox.send mb bytes;
       if dup then Mailbox.send mb (Bytes.copy bytes)
+
+(** [mark_crashed t node] records that [node] died for a reason outside
+    the plan's crash schedule — the multi-process backend calls this
+    when it reads EOF from a child's channel (the child [_exit]ed on an
+    injected crash, or something external [kill]ed it).  Returns whether
+    the death was fresh; the node stays dead for {!is_crashed} routing
+    either way. *)
+let mark_crashed t node =
+  Mutex.lock t.lock;
+  ensure_node t node;
+  let fresh = not t.crashed.(node) in
+  if fresh then begin
+    t.crashed.(node) <- true;
+    t.counters <- { t.counters with crashes = t.counters.crashes + 1 }
+  end;
+  Mutex.unlock t.lock;
+  if fresh then begin
+    Stats.record_crash ();
+    Stats.record_fault ()
+  end;
+  fresh

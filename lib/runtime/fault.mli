@@ -78,12 +78,30 @@ val timeout_for : spec -> attempt:int -> float
 (** Capped exponential backoff: the receive timeout to use on the given
     retry round (0-based). *)
 
+val decide :
+  t ->
+  link:link ->
+  Bytes.t ->
+  [ `Drop | `Deliver of Bytes.t * bool * bool ]
+(** Draw one message's fate from the seeded stream without touching any
+    channel: [`Drop], or [`Deliver (bytes, delayed, duplicated)] where
+    [bytes] may have one byte flipped.  Every transport backend routes
+    its traffic through this single decision point, so a fault plan has
+    the same meaning over mailboxes and over sockets. *)
+
 val send : t -> link:link -> Mailbox.t -> Bytes.t -> unit
 (** Deliver a message through a mailbox, applying the link's faults
-    (drop / corrupt one byte / park as delayed / duplicate). *)
+    (drop / corrupt one byte / park as delayed / duplicate).
+    Equivalent to acting on {!decide}. *)
 
 val crash_now : t -> node:int -> phase:crash_phase -> bool
 (** True exactly once, when execution of the planned crash node first
     reaches the planned phase; the node is then permanently dead. *)
+
+val mark_crashed : t -> int -> bool
+(** Record an *observed* (rather than planned) death of a node — the
+    multi-process backend calls this on reading EOF from a child's
+    channel, whether the child [_exit]ed on an injected crash or was
+    killed externally.  True if the death was fresh. *)
 
 val is_crashed : t -> int -> bool

@@ -94,6 +94,13 @@ let worker_loop t =
     end
   done
 
+(* OCaml's runtime refuses [Unix.fork] forever once any domain has been
+   spawned in the process, so the multi-process cluster backend needs to
+   know whether that door is already shut.  Set before spawning so a
+   racing fork can never observe domains without the flag. *)
+let spawned_domains_ever = Atomic.make false
+let domains_ever_spawned () = Atomic.get spawned_domains_ever
+
 let create ?workers () =
   let n =
     match workers with
@@ -102,6 +109,7 @@ let create ?workers () =
         w
     | None -> max 1 (Domain.recommended_domain_count ())
   in
+  if n > 1 then Atomic.set spawned_domains_ever true;
   Stats.ensure_workers n;
   let t =
     {
@@ -398,6 +406,16 @@ let default () =
   match !default_pool with
   | Some p -> p
   | None ->
-      let p = create ?workers:!default_width () in
+      (* Under the multi-process cluster backend the parent must stay
+         fork-able: node-local parallelism lives in the children, so the
+         parent's default pool is clamped to a single worker (zero
+         domains spawned).  Checked at call time so a CLI can select the
+         backend after startup via the environment. *)
+      let workers =
+        match Sys.getenv_opt "TRIOLET_BACKEND" with
+        | Some "process" -> Some 1
+        | _ -> !default_width
+      in
+      let p = create ?workers () in
       default_pool := Some p;
       p

@@ -81,3 +81,13 @@ val set_default_width : int -> unit
 (** Must be called before the first {!default} use to take effect. *)
 
 val default : unit -> t
+(** The shared pool, created on first use.  When the environment selects
+    the multi-process cluster backend ([TRIOLET_BACKEND=process]) the
+    width is clamped to 1 so the parent process never spawns a domain
+    and stays fork-able; node-local parallelism then lives in the
+    per-node child processes. *)
+
+val domains_ever_spawned : unit -> bool
+(** Whether any pool in this process has ever spawned a helper domain.
+    Once true, [Unix.fork] is permanently unavailable (an OCaml runtime
+    restriction), so the multi-process cluster backend cannot start. *)

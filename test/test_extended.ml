@@ -12,6 +12,11 @@ let check_float = Alcotest.(check (float 1e-9))
 let qtest name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen prop)
 
+(* This suite spawns multi-domain pools and then runs ambient-context
+   distributed pipelines, which the process backend's fork requirement
+   forbids; ignore TRIOLET_BACKEND so the suite behaves identically
+   under it (test_transport covers the process backend). *)
+let () = Unix.putenv "TRIOLET_BACKEND" ""
 let () = Triolet_runtime.Pool.set_default_width 2
 
 let () =

@@ -13,6 +13,11 @@ module Cluster = Triolet_runtime.Cluster
 module Fault = Triolet_runtime.Fault
 module BC = Triolet_harness.Bench_compare
 
+(* This suite spawns multi-domain pools and then runs ambient-context
+   distributed pipelines, which the process backend's fork requirement
+   forbids; ignore TRIOLET_BACKEND so the suite behaves identically
+   under it (test_transport covers the process backend). *)
+let () = Unix.putenv "TRIOLET_BACKEND" ""
 let () = Pool.set_default_width 2
 
 let check_int = Alcotest.(check int)
