@@ -239,6 +239,139 @@ let bench_payload =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Iterator fusion gap: each kernel's sequential inner pattern as the
+   fused iterator pipeline vs the hand-written imperative loop the
+   paper's compiler closes the gap to.  Besides the raw ns rows, the
+   family emits one dimensionless "iter/<pattern>-gap" row per pattern
+   (pipeline ns / imperative ns): that ratio is what the enforcing CI
+   compare gates, because it cancels the speed of the machine the
+   baseline was recorded on. *)
+
+module Vec = Triolet_base.Vec
+
+let iter_sgemm_mats = lazy (Kern.Dataset.sgemm_matrices ~seed:12 ~m:32 ~k:32 ~n:32)
+
+let iter_cutcp_box =
+  lazy
+    (Kern.Dataset.cutcp ~seed:13 ~atoms:48 ~nx:12 ~ny:12 ~nz:12 ~spacing:0.5
+       ~cutoff:1.8)
+
+let iter_tpacf_cat =
+  lazy (Kern.Dataset.tpacf ~seed:14 ~points:128 ~random_sets:1)
+
+let iter_patterns = [ "dot"; "sgemm-tile"; "cutcp"; "tpacf-hist" ]
+
+let bench_iter =
+  (* dot / map-reduce: zip two arrays, multiply, sum. *)
+  let dot_pipeline () =
+    Iter.sum
+      (Iter.map (fun (x, y) -> x *. y)
+         (Iter.zip (Iter.of_floatarray xs) (Iter.of_floatarray ys)))
+  in
+  let dot_imperative () =
+    let acc = ref 0.0 in
+    for i = 0 to n_dot - 1 do
+      acc := !acc +. (Float.Array.unsafe_get xs i *. Float.Array.unsafe_get ys i)
+    done;
+    !acc
+  in
+  (* sgemm tile: every (i, j) row-dot of a 32x32 tile through Seq_iter
+     vs the triple loop over the same views. *)
+  let si_of_view v =
+    Seq_iter.of_indexer
+      (Indexer.make (Shape.seq (Matrix.view_len v)) (Matrix.view_get v))
+  in
+  let sgemm_pipeline () =
+    let a, b = Lazy.force iter_sgemm_mats in
+    let bt = Matrix.transpose b in
+    let dot u v =
+      Seq_iter.sum_float (Seq_iter.zip_with ( *. ) (si_of_view u) (si_of_view v))
+    in
+    Seq_iter.sum_float
+      (Seq_iter.concat_map
+         (fun i ->
+           Seq_iter.map
+             (fun j -> dot (Matrix.row a i) (Matrix.row bt j))
+             (Seq_iter.range 0 (Matrix.rows bt)))
+         (Seq_iter.range 0 (Matrix.rows a)))
+  in
+  let sgemm_imperative () =
+    let a, b = Lazy.force iter_sgemm_mats in
+    let bt = Matrix.transpose b in
+    let acc = ref 0.0 in
+    for i = 0 to Matrix.rows a - 1 do
+      let u = Matrix.row a i in
+      for j = 0 to Matrix.rows bt - 1 do
+        let v = Matrix.row bt j in
+        let d = ref 0.0 in
+        for l = 0 to Matrix.view_len u - 1 do
+          d := !d +. (Matrix.view_get u l *. Matrix.view_get v l)
+        done;
+        acc := !acc +. !d
+      done
+    done;
+    !acc
+  in
+  (* cutcp gather: the full scatter pipeline (atoms -> nearby grid
+     points -> conditional scatter-add), sequential, vs run_c. *)
+  let cutcp_pipeline () =
+    Kern.Cutcp.run_triolet ~hint:Iter.sequential (Lazy.force iter_cutcp_box)
+  in
+  let cutcp_imperative () = Kern.Cutcp.run_c (Lazy.force iter_cutcp_box) in
+  (* tpacf histogram: the DD triangular pair loop into a histogram vs
+     the imperative double loop with direct bin updates. *)
+  let tpacf_bins = 32 in
+  let tpacf_pipeline () =
+    Iter.histogram ~bins:tpacf_bins
+      (Iter.sequential
+         (Kern.Tpacf.dd_pipeline ~bins:tpacf_bins (Lazy.force iter_tpacf_cat)))
+  in
+  let tpacf_imperative () =
+    let d = Lazy.force iter_tpacf_cat in
+    let c = d.Kern.Dataset.observed in
+    let n = Float.Array.length c.Kern.Dataset.cx in
+    let h = Array.make tpacf_bins 0 in
+    for i = 0 to n - 1 do
+      let xi = Vec.fget c.Kern.Dataset.cx i
+      and yi = Vec.fget c.Kern.Dataset.cy i
+      and zi = Vec.fget c.Kern.Dataset.cz i in
+      for j = i + 1 to n - 1 do
+        let dot =
+          (xi *. Vec.fget c.Kern.Dataset.cx j)
+          +. (yi *. Vec.fget c.Kern.Dataset.cy j)
+          +. (zi *. Vec.fget c.Kern.Dataset.cz j)
+        in
+        let b = Kern.Tpacf.bin_of_dot ~bins:tpacf_bins dot in
+        h.(b) <- h.(b) + 1
+      done
+    done;
+    h
+  in
+  Test.make_grouped ~name:"iter"
+    [
+      Test.make_grouped ~name:"dot"
+        [
+          Test.make ~name:"pipeline" (Staged.stage dot_pipeline);
+          Test.make ~name:"imperative" (Staged.stage dot_imperative);
+        ];
+      Test.make_grouped ~name:"sgemm-tile"
+        [
+          Test.make ~name:"pipeline" (Staged.stage sgemm_pipeline);
+          Test.make ~name:"imperative" (Staged.stage sgemm_imperative);
+        ];
+      Test.make_grouped ~name:"cutcp"
+        [
+          Test.make ~name:"pipeline" (Staged.stage cutcp_pipeline);
+          Test.make ~name:"imperative" (Staged.stage cutcp_imperative);
+        ];
+      Test.make_grouped ~name:"tpacf-hist"
+        [
+          Test.make ~name:"pipeline" (Staged.stage tpacf_pipeline);
+          Test.make ~name:"imperative" (Staged.stage tpacf_imperative);
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler: static chunk preload vs adaptive lazy splitting on
    uniform and Zipf-skewed per-element work, pushed through the same
    filter/concat_map pipeline shape that produces irregular loop nests
@@ -329,10 +462,14 @@ let add_row ?speedup name ns =
   family_rows := (name, ns, speedup) :: !family_rows;
   all_rows := (name, ns, speedup) :: !all_rows
 
-let run_group test =
+(* [stabilize] compacts the heap before each test: families that mix
+   allocation-free imperative baselines with allocating pipelines (the
+   iter fusion-gap family) need it so one test's garbage doesn't tax
+   its neighbour's measurement. *)
+let run_group ?(quota = 0.5) ?(stabilize = false) test =
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
-      ~stabilize:false ()
+    Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:None ~stabilize
+      ()
   in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
   let ols =
@@ -444,11 +581,40 @@ let counters_json (s : Stats.snapshot) =
       ("recovery_ns", num s.Stats.recovery_ns);
     ]
 
+(* Gap rows, computed from the raw rows of this family's run: the
+   fused-pipeline-vs-imperative ratio per pattern. *)
+let iter_gap_rows () =
+  let ns name =
+    List.find_map
+      (fun (n, v, _) -> if n = name then Some v else None)
+      !family_rows
+  in
+  List.iter
+    (fun pat ->
+      match
+        ( ns (Printf.sprintf "iter/%s/pipeline" pat),
+          ns (Printf.sprintf "iter/%s/imperative" pat) )
+      with
+      | Some p, Some i when i > 0.0 && Float.is_finite p ->
+          let gap = p /. i in
+          Printf.printf "  %-36s %14.2fx pipeline/imperative\n"
+            (Printf.sprintf "iter/%s-gap" pat)
+            gap;
+          add_row (Printf.sprintf "iter/%s-gap" pat) gap
+      | _ -> ())
+    iter_patterns
+
 let families : (string * string * (quick:bool -> unit)) list =
   [
     ( "dot",
       "loop fusion: dot product (paper section 2)",
       fun ~quick:_ -> run_group bench_dot );
+    ( "iter",
+      "iterator fusion gap: fused pipeline vs imperative loop per kernel \
+       inner pattern",
+      fun ~quick:_ ->
+        run_group ~quota:2.0 ~stabilize:true bench_iter;
+        iter_gap_rows () );
     ( "nested",
       "nested traversal encodings (Figure 1 'slow' cell)",
       fun ~quick:_ -> run_group bench_nested );

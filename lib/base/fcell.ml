@@ -1,0 +1,14 @@
+(** Unboxed float accumulator cell.
+
+    A polymorphic ['a ref] stores its contents as a pointer, so a
+    [float ref] accumulator allocates a fresh box and pays a write
+    barrier on every [:=] — exactly the per-element cost the fused
+    iterator core exists to avoid.  A record whose fields are all
+    [float] gets the flat float representation instead: reading and
+    writing [v] is a plain unboxed load/store, no allocation, no
+    barrier.  Every float reduction on the fused path accumulates
+    through one of these. *)
+
+type t = { mutable v : float }
+
+let make v = { v }

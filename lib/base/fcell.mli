@@ -1,0 +1,9 @@
+(** Unboxed float accumulator cell: unlike a [float ref] (whose
+    polymorphic contents field is a pointer to a boxed float), a record
+    with only float fields has flat representation, so updates neither
+    allocate nor pay a write barrier.  Use for accumulators on fused
+    hot paths. *)
+
+type t = { mutable v : float }
+
+val make : float -> t

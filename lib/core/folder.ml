@@ -5,6 +5,8 @@
     traversals fuse into clean nested loops, which is why hybrid
     iterators route nested reductions through them. *)
 
+module Fcell = Triolet_base.Fcell
+
 type 'a t = { fold : 'acc. ('acc -> 'a -> 'acc) -> 'acc -> 'acc }
 
 let empty = { fold = (fun _ init -> init) }
@@ -18,15 +20,16 @@ let of_array a = { fold = (fun f init -> Array.fold_left f init a) }
 let of_floatarray (a : floatarray) =
   { fold = (fun f init -> Float.Array.fold_left f init a) }
 
+(* Thread the accumulator through tail recursion: a [ref] cell here
+   would box every intermediate accumulator and pay a write barrier per
+   iteration, defeating unboxing for the float reductions this fold
+   feeds. *)
 let range lo hi =
   {
     fold =
       (fun f init ->
-        let acc = ref init in
-        for i = lo to hi - 1 do
-          acc := f !acc i
-        done;
-        !acc);
+        let rec go acc i = if i >= hi then acc else go (f acc i) (i + 1) in
+        go init lo);
   }
 
 let of_stepper st = { fold = (fun f init -> Stepper.fold f init st) }
@@ -61,7 +64,13 @@ let length t = t.fold (fun n _ -> n + 1) 0
 
 let to_list t = List.rev (t.fold (fun acc x -> x :: acc) [])
 
-let sum_float t = t.fold ( +. ) 0.0
+(* Float reductions accumulate through an {!Fcell}: its field is
+   unboxed storage, so the running value never round trips through the
+   heap the way a polymorphic fold accumulator does. *)
+let sum_float t =
+  let acc = Fcell.make 0.0 in
+  t.fold (fun () x -> acc.Fcell.v <- acc.Fcell.v +. x) ();
+  acc.Fcell.v
 
 let sum_int t = t.fold ( + ) 0
 
@@ -69,9 +78,15 @@ let exists p t = t.fold (fun found x -> found || p x) false
 
 let for_all p t = t.fold (fun ok x -> ok && p x) true
 
-let min_float t = t.fold Float.min Float.infinity
+let min_float t =
+  let m = Fcell.make Float.infinity in
+  t.fold (fun () x -> if x < m.Fcell.v then m.Fcell.v <- x) ();
+  m.Fcell.v
 
-let max_float t = t.fold Float.max Float.neg_infinity
+let max_float t =
+  let m = Fcell.make Float.neg_infinity in
+  t.fold (fun () x -> if x > m.Fcell.v then m.Fcell.v <- x) ();
+  m.Fcell.v
 
 (** Count elements satisfying a predicate in one pass. *)
 let count_if p t = t.fold (fun n x -> if p x then n + 1 else n) 0

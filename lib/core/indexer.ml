@@ -52,7 +52,10 @@ let slice (t : (int, 'a) t) off len =
   match t.shape with
   | Shape.Seq n ->
       if off < 0 || len < 0 || off + len > n then invalid_arg "Indexer.slice";
-      { shape = Shape.seq len; get = (fun i -> t.get (off + i)) }
+      (* full-range slices (the sequential-execution path) add no
+         rebasing closure to the per-element lookup chain *)
+      if off = 0 && len = n then t
+      else { shape = Shape.seq len; get = (fun i -> t.get (off + i)) }
 
 (* Conversions down the control-flexibility order of Figure 1: an
    indexer can become a stepper, fold, or collector, never the other
@@ -60,8 +63,17 @@ let slice (t : (int, 'a) t) off len =
 
 let to_stepper (t : (int, 'a) t) =
   let n = size t in
-  Stepper.unfold 0 (fun i ->
-      if i >= n then Stepper.Done else Stepper.Yield (t.get i, i + 1))
+  let get = t.get in
+  Stepper.make 0
+    (fun i -> if i >= n then Stepper.Done else Stepper.Yield (get i, i + 1))
+    {
+      Stepper.push =
+        (fun f init ->
+          let rec go acc i =
+            if i >= n then acc else go (f acc (get i)) (i + 1)
+          in
+          go init 0);
+    }
 
 let to_folder t =
   { Folder.fold = (fun f init -> Shape.fold t.shape (fun acc i -> f acc (t.get i)) init) }
@@ -69,9 +81,27 @@ let to_folder t =
 let to_collector t =
   { Collector.run = (fun k -> Shape.iter t.shape (fun i -> k (t.get i))) }
 
-let fold f init t = Folder.fold f init (to_folder t)
+(* The flat 1-D case — every hybrid iterator's hot leaf — gets its own
+   loop so the per-element path is [f] and the lookup, with no
+   index-adapter closure in between. *)
+let fold : type i. ('b -> 'a -> 'b) -> 'b -> (i, 'a) t -> 'b =
+ fun f init t ->
+  match t.shape with
+  | Shape.Seq n ->
+      let get = t.get in
+      let rec go acc i = if i >= n then acc else go (f acc (get i)) (i + 1) in
+      go init 0
+  | shape -> Shape.fold shape (fun acc i -> f acc (t.get i)) init
 
-let iter f t = Shape.iter t.shape (fun i -> f (t.get i))
+let iter : type i. ('a -> unit) -> (i, 'a) t -> unit =
+ fun f t ->
+  match t.shape with
+  | Shape.Seq n ->
+      let get = t.get in
+      for i = 0 to n - 1 do
+        f (get i)
+      done
+  | shape -> Shape.iter shape (fun i -> f (t.get i))
 
 let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
 

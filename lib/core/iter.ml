@@ -200,10 +200,27 @@ let rec zip a b =
         zip (a.rebuild pa) (b.rebuild pb));
   }
 
-let zip3 a b c =
-  map (fun (x, (y, z)) -> (x, y, z)) (zip a (zip b c))
+(** Like [zip] but applies [f] directly to the paired elements, so no
+    intermediate tuple is allocated per element on the hot path. *)
+let rec zip_with f a b =
+  let len = min a.len b.len in
+  {
+    hint =
+      (match (a.hint, b.hint) with
+      | Distributed, _ | _, Distributed -> Distributed
+      | Local, _ | _, Local -> Local
+      | Sequential, Sequential -> Sequential);
+    len;
+    local = (fun off n -> Seq_iter.zip_with f (a.local off n) (b.local off n));
+    width = a.width + b.width;
+    payload_of = (fun off n -> a.payload_of off n @ b.payload_of off n);
+    rebuild =
+      (fun p ->
+        let pa, pb = split_payload a.width p in
+        zip_with f (a.rebuild pa) (b.rebuild pb));
+  }
 
-let zip_with f a b = map (fun (x, y) -> f x y) (zip a b)
+let zip3 a b c = zip_with (fun x (y, z) -> (x, y, z)) a (zip b c)
 
 let enumerate t = zip (indices t) t
 

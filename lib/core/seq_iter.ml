@@ -17,6 +17,8 @@
     of the equations in Figure 2 of the paper (plus [map], [fold] and
     friends in the same style). *)
 
+module Fcell = Triolet_base.Fcell
+
 type 'a t =
   | Idx_flat of (int, 'a) Indexer.t
   | Step_flat of 'a Stepper.t
@@ -79,10 +81,7 @@ let rec map : 'a 'b. ('a -> 'b) -> 'a t -> 'b t =
 let rec filter : 'a. ('a -> bool) -> 'a t -> 'a t =
  fun p -> function
   | Idx_flat xs ->
-      Idx_nest
-        (Indexer.map
-           (fun x -> Step_flat (Stepper.filter p (Stepper.singleton x)))
-           xs)
+      Idx_nest (Indexer.map (fun x -> Step_flat (Stepper.guard p x)) xs)
   | Step_flat xs -> Step_flat (Stepper.filter p xs)
   | Idx_nest xss -> Idx_nest (Indexer.map (filter p) xss)
   | Step_nest xss -> Step_nest (Stepper.map (filter p) xss)
@@ -96,16 +95,6 @@ let rec concat_map : 'a 'b. ('a -> 'b t) -> 'a t -> 'b t =
   | Idx_nest xss -> Idx_nest (Indexer.map (concat_map f) xss)
   | Step_nest xss -> Step_nest (Stepper.map (concat_map f) xss)
 
-(** [collect]: convert every nesting level into a sequential
-    side-effecting loop. *)
-let rec collect : 'a. 'a t -> 'a Collector.t = function
-  | Idx_flat xs -> Indexer.to_collector xs
-  | Step_flat xs -> Collector.of_stepper xs
-  | Idx_nest xss ->
-      { Collector.run = (fun k -> Indexer.iter (fun it -> (collect it).Collector.run k) xss) }
-  | Step_nest xss ->
-      { Collector.run = (fun k -> Stepper.iter (fun it -> (collect it).Collector.run k) xss) }
-
 (** [fold] in the style of Figure 2's [sum]: each level of nesting turns
     into one loop. *)
 let rec fold : 'a 'acc. ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc =
@@ -115,11 +104,52 @@ let rec fold : 'a 'acc. ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc =
   | Idx_nest xss -> Indexer.fold (fun acc it -> fold f acc it) init xss
   | Step_nest xss -> Stepper.fold (fun acc it -> fold f acc it) init xss
 
-let sum_float it = fold ( +. ) 0.0 it
-
 let sum_int it = fold ( + ) 0 it
 
-let iter f it = fold (fun () x -> f x) () it
+(** Side-effecting traversal gets its own recursion rather than a
+    unit-accumulator [fold]: it is the consumer under every
+    [collect]-routed kernel.  The unit-fold wrappers are allocated once
+    per traversal and reused at every level — a filtered flat indexer
+    holds one [Step_flat] leaf per outer index, so building a wrapper
+    per leaf (as [Stepper.iter] would) costs an allocation per element
+    of the original loop. *)
+let iter : 'a. ('a -> unit) -> 'a t -> unit =
+ fun f t ->
+  let pf () x = f x in
+  let rec go = function
+    | Idx_flat xs -> Indexer.iter f xs
+    | Step_flat xs -> Stepper.fold pf () xs
+    | Idx_nest xss -> Indexer.iter go xss
+    | Step_nest xss -> Stepper.fold go_u () xss
+  and go_u () it = go it in
+  go t
+
+(* Float reductions accumulate through an {!Fcell} (unboxed float
+   field) so the running value never touches the heap, no matter how
+   deep the nest; the flat random-access leaf — the hot inner loop of
+   every dot-product-shaped reduction — runs as a direct counted loop
+   over the lookup function. *)
+let sum_float it =
+  let acc = Fcell.make 0.0 in
+  let add () x = acc.Fcell.v <- acc.Fcell.v +. x in
+  let rec go : float t -> unit = function
+    | Idx_flat ix -> (
+        match ix.Indexer.shape with
+        | Shape.Seq n ->
+            let get = ix.Indexer.get in
+            for i = 0 to n - 1 do
+              acc.Fcell.v <- acc.Fcell.v +. get i
+            done)
+    | Step_flat xs -> Stepper.fold add () xs
+    | Idx_nest xss -> Indexer.iter go xss
+    | Step_nest xss -> Stepper.fold go_u () xss
+  and go_u () it = go it in
+  go it;
+  acc.Fcell.v
+
+(** [collect]: one side-effecting loop nest driven entirely by the push
+    faces — a single collector object regardless of nesting depth. *)
+let collect it = { Collector.run = (fun k -> iter k it) }
 
 let length it = fold (fun n _ -> n + 1) 0 it
 
@@ -183,9 +213,15 @@ let for_all p it = fold (fun ok x -> ok && p x) true it
 
 let find p it = Stepper.find p (to_stepper it)
 
-let min_float it = fold Float.min Float.infinity it
+let min_float it =
+  let m = Fcell.make Float.infinity in
+  iter (fun x -> if x < m.Fcell.v then m.Fcell.v <- x) it;
+  m.Fcell.v
 
-let max_float it = fold Float.max Float.neg_infinity it
+let max_float it =
+  let m = Fcell.make Float.neg_infinity in
+  iter (fun x -> if x > m.Fcell.v then m.Fcell.v <- x) it;
+  m.Fcell.v
 
 (** Monadic syntax: [let*] is [concat_map], so nested comprehensions
     read like the paper's Python/Haskell examples:

@@ -53,37 +53,68 @@ let mem : type i. i t -> i -> bool =
       z >= 0 && z < d && y >= 0 && y < h && x >= 0 && x < w
 
 (** Fold over all indices of the domain in row-major order: the
-    [idxToFold] conversion overloaded per domain in the paper. *)
+    [idxToFold] conversion overloaded per domain in the paper.
+
+    Accumulators are threaded through tail recursion, not a [ref] cell:
+    a mutable cell would force a write barrier per index and keep the
+    accumulator boxed, defeating the fused loops built on top. *)
 let fold : type i. i t -> ('a -> i -> 'a) -> 'a -> 'a =
  fun shape f init ->
   match shape with
   | Seq n ->
-      let acc = ref init in
-      for i = 0 to n - 1 do
-        acc := f !acc i
-      done;
-      !acc
+      let rec go acc i = if i >= n then acc else go (f acc i) (i + 1) in
+      go init 0
   | Dim2 (h, w) ->
-      let acc = ref init in
+      let rec row acc y =
+        if y >= h then acc
+        else
+          let rec col acc x =
+            if x >= w then acc else col (f acc (y, x)) (x + 1)
+          in
+          row (col acc 0) (y + 1)
+      in
+      row init 0
+  | Dim3 (d, h, w) ->
+      let rec plane acc z =
+        if z >= d then acc
+        else
+          let rec row acc y =
+            if y >= h then acc
+            else
+              let rec col acc x =
+                if x >= w then acc else col (f acc (z, y, x)) (x + 1)
+              in
+              row (col acc 0) (y + 1)
+          in
+          plane (row acc 0) (z + 1)
+      in
+      plane init 0
+
+(* Dedicated loops rather than [fold] with a unit accumulator: [iter]
+   is the consumer under every [collect]-routed kernel (histogram,
+   scatter_add), so the per-index path must be one call to [f] and
+   nothing else. *)
+let iter : type i. i t -> (i -> unit) -> unit =
+ fun shape f ->
+  match shape with
+  | Seq n ->
+      for i = 0 to n - 1 do
+        f i
+      done
+  | Dim2 (h, w) ->
       for y = 0 to h - 1 do
         for x = 0 to w - 1 do
-          acc := f !acc (y, x)
+          f (y, x)
         done
-      done;
-      !acc
+      done
   | Dim3 (d, h, w) ->
-      let acc = ref init in
       for z = 0 to d - 1 do
         for y = 0 to h - 1 do
           for x = 0 to w - 1 do
-            acc := f !acc (z, y, x)
+            f (z, y, x)
           done
         done
-      done;
-      !acc
-
-let iter : type i. i t -> (i -> unit) -> unit =
- fun shape f -> fold shape (fun () i -> f i) ()
+      done
 
 (** Pointwise intersection: the common sub-domain visited by [zipWith]
     when two domains disagree in extent. *)

@@ -80,24 +80,23 @@ let grid_pts (c : D.cutcp) (x, y, z, q) =
          Seq_iter.range y0 (y1 + 1)
          |> Seq_iter.concat_map (fun iy ->
                 Seq_iter.range x0 (x1 + 1)
-                |> Seq_iter.concat_map (fun ix ->
+                |> Seq_iter.filter_map (fun ix ->
                        match contribution c ~x ~y ~z ~q ix iy iz with
-                       | Some v ->
-                           Seq_iter.singleton (grid_index c ix iy iz, v)
-                       | None -> Seq_iter.empty)))
+                       | Some v -> Some (grid_index c ix iy iz, v)
+                       | None -> None)))
 
 (* The fused (index, weight) pipeline scatter_add consumes, exposed as
    a plan-reification hook for [triolet analyze]. *)
 let pipeline ?(hint = Iter.par) (c : D.cutcp) =
   let atoms =
-    Iter.zip
+    Iter.zip_with
+      (fun (x, y, z) q -> (x, y, z, q))
       (Iter.zip3
          (Iter.of_floatarray c.D.ax)
          (Iter.of_floatarray c.D.ay)
          (Iter.of_floatarray c.D.az))
       (Iter.of_floatarray c.D.aq)
   in
-  let atoms = Iter.map (fun ((x, y, z), q) -> (x, y, z, q)) atoms in
   Iter.concat_map (grid_pts c) (hint atoms)
 
 let run_triolet ?ctx ?hint (c : D.cutcp) : floatarray =

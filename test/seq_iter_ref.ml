@@ -1,0 +1,223 @@
+(** Reference implementation of hybrid iterators: the pre-fusion,
+    value-based encoding, kept verbatim as an executable specification.
+
+    The production [Seq_iter]/[Stepper] pair was rewritten in the
+    push-based indexed-stream-fusion style; this module preserves the
+    old semantics — a pull-only stepper whose every combinator works on
+    [Yield]/[Skip]/[Done] values, and the Figure-2 equations written
+    against it — so the qcheck equivalence suite
+    ([test_fusion_equiv.ml]) can assert that the new encoding yields
+    exactly the same elements in exactly the same order for arbitrary
+    pipelines.  It deliberately depends only on [Indexer]'s public
+    record (shape + get) and on no other production stream code. *)
+
+module Indexer = Triolet.Indexer
+module Shape = Triolet.Shape
+
+(** The old stepper: a suspended loop state plus a step function, pull
+    face only. *)
+module Ref_stepper = struct
+  type ('a, 's) step = Yield of 'a * 's | Skip of 's | Done
+
+  type 'a t = Stepper : 's * ('s -> ('a, 's) step) -> 'a t
+
+  let empty = Stepper ((), fun () -> Done)
+
+  let singleton x =
+    Stepper (false, function false -> Yield (x, true) | true -> Done)
+
+  let of_list l =
+    Stepper (l, function [] -> Done | x :: rest -> Yield (x, rest))
+
+  let range lo hi =
+    Stepper (lo, fun i -> if i >= hi then Done else Yield (i, i + 1))
+
+  let map g (Stepper (s0, next)) =
+    Stepper
+      ( s0,
+        fun s ->
+          match next s with
+          | Yield (x, s') -> Yield (g x, s')
+          | Skip s' -> Skip s'
+          | Done -> Done )
+
+  let filter p (Stepper (s0, next)) =
+    Stepper
+      ( s0,
+        fun s ->
+          match next s with
+          | Yield (x, s') -> if p x then Yield (x, s') else Skip s'
+          | Skip s' -> Skip s'
+          | Done -> Done )
+
+  let filter_map g (Stepper (s0, next)) =
+    Stepper
+      ( s0,
+        fun s ->
+          match next s with
+          | Yield (x, s') -> (
+              match g x with Some y -> Yield (y, s') | None -> Skip s')
+          | Skip s' -> Skip s'
+          | Done -> Done )
+
+  let zip_with f (Stepper (sa0, na)) (Stepper (sb0, nb)) =
+    Stepper
+      ( (sa0, sb0, None),
+        fun (sa, sb, pending) ->
+          match pending with
+          | None -> (
+              match na sa with
+              | Yield (a, sa') -> Skip (sa', sb, Some a)
+              | Skip sa' -> Skip (sa', sb, None)
+              | Done -> Done)
+          | Some a -> (
+              match nb sb with
+              | Yield (b, sb') -> Yield (f a b, (sa, sb', None))
+              | Skip sb' -> Skip (sa, sb', Some a)
+              | Done -> Done) )
+
+  let zip a b = zip_with (fun x y -> (x, y)) a b
+
+  let concat_map g (Stepper (s0, next)) =
+    let step (s, inner) =
+      match inner with
+      | Some (Stepper (is, inext)) -> (
+          match inext is with
+          | Yield (x, is') -> Yield (x, (s, Some (Stepper (is', inext))))
+          | Skip is' -> Skip (s, Some (Stepper (is', inext)))
+          | Done -> Skip (s, None))
+      | None -> (
+          match next s with
+          | Yield (x, s') -> Skip (s', Some (g x))
+          | Skip s' -> Skip (s', None)
+          | Done -> Done)
+    in
+    Stepper ((s0, None), step)
+
+  let fold f init (Stepper (s0, next)) =
+    let rec go acc s =
+      match next s with
+      | Yield (x, s') -> go (f acc x) s'
+      | Skip s' -> go acc s'
+      | Done -> acc
+    in
+    go init s0
+
+  let find p (Stepper (s0, next)) =
+    let rec loop s =
+      match next s with
+      | Yield (x, s') -> if p x then Some x else loop s'
+      | Skip s' -> loop s'
+      | Done -> None
+    in
+    loop s0
+end
+
+type 'a t =
+  | Idx_flat of (int, 'a) Indexer.t
+  | Step_flat of 'a Ref_stepper.t
+  | Idx_nest of (int, 'a t) Indexer.t
+  | Step_nest of 'a t Ref_stepper.t
+
+let empty = Step_flat Ref_stepper.empty
+
+let singleton x = Step_flat (Ref_stepper.singleton x)
+
+let of_array a = Idx_flat (Indexer.of_array a)
+
+let of_floatarray a = Idx_flat (Indexer.of_floatarray a)
+
+let of_list l = Step_flat (Ref_stepper.of_list l)
+
+let range lo hi = Idx_flat (Indexer.range lo hi)
+
+let indexer_to_stepper (t : (int, 'a) Indexer.t) =
+  let n = Indexer.size t in
+  Ref_stepper.Stepper
+    ( 0,
+      fun i ->
+        if i >= n then Ref_stepper.Done
+        else Ref_stepper.Yield (Indexer.get t i, i + 1) )
+
+let rec to_stepper : 'a. 'a t -> 'a Ref_stepper.t = function
+  | Idx_flat xs -> indexer_to_stepper xs
+  | Step_flat xs -> xs
+  | Idx_nest xss -> Ref_stepper.concat_map to_stepper (indexer_to_stepper xss)
+  | Step_nest xss -> Ref_stepper.concat_map to_stepper xss
+
+let zip a b =
+  match (a, b) with
+  | Idx_flat xs, Idx_flat ys -> Idx_flat (Indexer.zip xs ys)
+  | _ -> Step_flat (Ref_stepper.zip (to_stepper a) (to_stepper b))
+
+let zip_with f a b =
+  match (a, b) with
+  | Idx_flat xs, Idx_flat ys -> Idx_flat (Indexer.zip_with f xs ys)
+  | _ -> Step_flat (Ref_stepper.zip_with f (to_stepper a) (to_stepper b))
+
+let rec map : 'a 'b. ('a -> 'b) -> 'a t -> 'b t =
+ fun f -> function
+  | Idx_flat xs -> Idx_flat (Indexer.map f xs)
+  | Step_flat xs -> Step_flat (Ref_stepper.map f xs)
+  | Idx_nest xss -> Idx_nest (Indexer.map (map f) xss)
+  | Step_nest xss -> Step_nest (Ref_stepper.map (map f) xss)
+
+let rec filter : 'a. ('a -> bool) -> 'a t -> 'a t =
+ fun p -> function
+  | Idx_flat xs ->
+      Idx_nest
+        (Indexer.map
+           (fun x ->
+             Step_flat (Ref_stepper.filter p (Ref_stepper.singleton x)))
+           xs)
+  | Step_flat xs -> Step_flat (Ref_stepper.filter p xs)
+  | Idx_nest xss -> Idx_nest (Indexer.map (filter p) xss)
+  | Step_nest xss -> Step_nest (Ref_stepper.map (filter p) xss)
+
+let rec filter_map : 'a 'b. ('a -> 'b option) -> 'a t -> 'b t =
+ fun f -> function
+  | Idx_flat xs ->
+      Idx_nest
+        (Indexer.map
+           (fun x -> match f x with Some y -> singleton y | None -> empty)
+           xs)
+  | Step_flat xs -> Step_flat (Ref_stepper.filter_map f xs)
+  | Idx_nest xss -> Idx_nest (Indexer.map (filter_map f) xss)
+  | Step_nest xss -> Step_nest (Ref_stepper.map (filter_map f) xss)
+
+let rec concat_map : 'a 'b. ('a -> 'b t) -> 'a t -> 'b t =
+ fun f -> function
+  | Idx_flat xs -> Idx_nest (Indexer.map f xs)
+  | Step_flat xs -> Step_nest (Ref_stepper.map f xs)
+  | Idx_nest xss -> Idx_nest (Indexer.map (concat_map f) xss)
+  | Step_nest xss -> Step_nest (Ref_stepper.map (concat_map f) xss)
+
+let append a b = Step_nest (Ref_stepper.of_list [ a; b ])
+
+let indexer_fold f init t =
+  Shape.fold (Indexer.shape t) (fun acc i -> f acc (Indexer.get t i)) init
+
+let rec fold : 'a 'acc. ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc =
+ fun f init -> function
+  | Idx_flat xs -> indexer_fold f init xs
+  | Step_flat xs -> Ref_stepper.fold f init xs
+  | Idx_nest xss -> indexer_fold (fun acc it -> fold f acc it) init xss
+  | Step_nest xss -> Ref_stepper.fold (fun acc it -> fold f acc it) init xss
+
+let sum_float it = fold ( +. ) 0.0 it
+
+let sum_int it = fold ( + ) 0 it
+
+let length it = fold (fun n _ -> n + 1) 0 it
+
+let to_list it = List.rev (fold (fun acc x -> x :: acc) [] it)
+
+let exists p it = fold (fun found x -> found || p x) false it
+
+let for_all p it = fold (fun ok x -> ok && p x) true it
+
+let find p it = Ref_stepper.find p (to_stepper it)
+
+let min_float it = fold Float.min Float.infinity it
+
+let max_float it = fold Float.max Float.neg_infinity it
