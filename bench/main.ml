@@ -604,8 +604,144 @@ let iter_gap_rows () =
       | _ -> ())
     iter_patterns
 
+(* ------------------------------------------------------------------ *)
+(* Service: open-loop load against the long-lived supervised service
+   (fork-per-node fabric, heartbeats, admission control).  Each arrival
+   rate gets p50/p99 latency rows plus a dimensionless shed-rate row.
+   The service forks, and OCaml forbids fork once any domain has been
+   spawned, so this family must run before any pool-backed family; it
+   is listed first and skips itself (loudly) if domains already exist. *)
+
+module Service = Triolet_runtime.Service
+
+(* Per-slice compute cost: enough work (~0.1 ms of integer arithmetic)
+   that the top arrival rate genuinely exceeds service capacity — the
+   sweep must drive the admission queue into shedding, not just measure
+   dispatch overhead. *)
+let service_spin = 200_000
+
+let service_double ~node:_ ~pool:_ payload =
+  match payload with
+  | [ Triolet_base.Payload.Ints a ] ->
+      let s = ref 0 in
+      for k = 1 to service_spin do
+        s := !s + (k land 7)
+      done;
+      ignore !s;
+      [ Triolet_base.Payload.Ints (Array.map (fun x -> (2 * x) + 1) a) ]
+  | _ -> failwith "bench service: bad payload"
+
+(* One rate point: [total] arrivals at [rate]/s pushed by [clients]
+   threads; arrival i is due at start + i/rate regardless of service
+   state (open loop), so queueing shows up as latency and shedding, not
+   as a slower generator. *)
+let service_rate_point t ~rate ~total ~clients =
+  let lock = Mutex.create () in
+  let next = ref 0 in
+  let shed = ref 0 in
+  let failures = ref 0 in
+  let lats = ref [] in
+  let start = Clock.monotonic_ns () in
+  let client () =
+    let rec loop () =
+      Mutex.lock lock;
+      let i = !next in
+      if i >= total then Mutex.unlock lock
+      else begin
+        incr next;
+        Mutex.unlock lock;
+        let due = start + int_of_float (float_of_int i /. rate *. 1e9) in
+        let now = Clock.monotonic_ns () in
+        if due > now then Unix.sleepf (float_of_int (due - now) /. 1e9);
+        let payloads =
+          Array.init 4 (fun s ->
+              [ Triolet_base.Payload.Ints
+                  (Array.init 8 (fun j -> i + (s * 100) + j)) ])
+        in
+        let t0 = Clock.monotonic_ns () in
+        (match Service.submit t payloads with
+        | Ok _ ->
+            let dt = float_of_int (Clock.monotonic_ns () - t0) in
+            Mutex.lock lock;
+            lats := dt :: !lats;
+            Mutex.unlock lock
+        | Error Service.Overloaded ->
+            Mutex.lock lock;
+            incr shed;
+            Mutex.unlock lock
+        | Error _ ->
+            Mutex.lock lock;
+            incr failures;
+            Mutex.unlock lock);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let threads = List.init clients (fun _ -> Thread.create client ()) in
+  List.iter Thread.join threads;
+  let sorted = Array.of_list !lats in
+  Array.sort compare sorted;
+  let pct p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  ( pct 0.50,
+    pct 0.99,
+    float_of_int !shed /. float_of_int (max 1 total),
+    !failures )
+
+let run_service_family ~quick =
+  if Pool.domains_ever_spawned () then
+    print_endline
+      "(skipping family 'service': the service fabric forks one process \
+       per node, which OCaml forbids once a worker domain has been \
+       spawned; run with --filter service to measure it)"
+  else begin
+    let cfg =
+      {
+        Service.default_config with
+        Service.nodes = 4;
+        cores_per_node = 1;
+        queue_bound = 4;
+        heartbeat_interval = 0.02;
+      }
+    in
+    let t = Service.create ~cfg ~work:service_double () in
+    Fun.protect
+      ~finally:(fun () -> Service.shutdown ~grace:2.0 t)
+      (fun () ->
+        let dur = if quick then 0.3 else 1.0 in
+        List.iter
+          (fun rate ->
+            let total = int_of_float (rate *. dur) in
+            let p50, p99, shed_rate, failures =
+              service_rate_point t ~rate ~total ~clients:8
+            in
+            let tag = Printf.sprintf "service/r%.0f" rate in
+            Printf.printf
+              "  %-24s p50 %10.1f ns  p99 %10.1f ns  shed %5.1f%%%s\n" tag
+              p50 p99 (100.0 *. shed_rate)
+              (if failures > 0 then
+                 Printf.sprintf "  (%d FAILED)" failures
+               else "");
+            add_row (tag ^ "/p50") p50;
+            add_row (tag ^ "/p99") p99;
+            add_row (tag ^ "/shed-rate") shed_rate)
+          [ 200.0; 800.0; 3200.0 ];
+        Printf.printf
+          "  %-24s respawns %d  heartbeat misses %d  live nodes %d\n"
+          "service/supervision" (Service.respawns t)
+          (Service.heartbeat_misses t)
+          (List.length (Service.live_nodes t)))
+  end
+
 let families : (string * string * (quick:bool -> unit)) list =
   [
+    ( "service",
+      "long-lived service: open-loop arrival sweep, tail latency and \
+       overload shedding",
+      fun ~quick -> run_service_family ~quick );
     ( "dot",
       "loop fusion: dot product (paper section 2)",
       fun ~quick:_ -> run_group bench_dot );

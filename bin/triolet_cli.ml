@@ -615,6 +615,218 @@ let analyze_cmd =
           protocols")
     Term.(const run $ nodes $ cores $ root $ verbose_arg)
 
+(* Long-lived supervised service demo: keep a forked fabric warm, push
+   an open-loop request stream at it, optionally kill children along
+   the way, and report tail latency plus supervision counters. *)
+let serve_cmd =
+  let module Service = Triolet_runtime.Service in
+  let module Rng = Triolet_base.Rng in
+  let module Payload = Triolet_base.Payload in
+  let double_inc ~node:_ ~pool:_ payload =
+    match payload with
+    | [ Payload.Ints a ] ->
+        [ Payload.Ints (Array.map (fun x -> (2 * x) + 1) a) ]
+    | _ -> failwith "serve: bad payload"
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let run nodes cores duration rate clients queue_bound slices deadline
+      kill_every heartbeat_loss fault_seed verbose =
+    setup_logs verbose;
+    if rate <= 0.0 then invalid_arg "serve: --rate must be positive";
+    if duration <= 0.0 then invalid_arg "serve: --duration must be positive";
+    if clients < 1 then invalid_arg "serve: --clients must be >= 1";
+    let faults =
+      if heartbeat_loss > 0.0 then
+        Some (Fault.spec ~heartbeat_loss ~seed:fault_seed ())
+      else None
+    in
+    let cfg =
+      {
+        Service.default_config with
+        Service.nodes;
+        cores_per_node = cores;
+        queue_bound;
+        heartbeat_interval = 0.02;
+        faults;
+      }
+    in
+    (* The service forks and re-forks; nothing in this parent may ever
+       spawn a domain, so all client concurrency below is systhreads. *)
+    let t = Service.create ~cfg ~work:double_inc () in
+    Fun.protect
+      ~finally:(fun () -> Service.shutdown ~grace:2.0 t)
+      (fun () ->
+        let total = int_of_float (rate *. duration) in
+        let lock = Mutex.create () in
+        let next_arrival = ref 0 in
+        let completed = ref 0 in
+        let shed = ref 0 in
+        let expired = ref 0 in
+        let failed = ref 0 in
+        let wrong = ref 0 in
+        let latencies = ref [] in
+        let kill_rng = Rng.create fault_seed in
+        let start = Clock.monotonic_ns () in
+        let client () =
+          let rec loop () =
+            Mutex.lock lock;
+            let i = !next_arrival in
+            if i >= total then Mutex.unlock lock
+            else begin
+              incr next_arrival;
+              Mutex.unlock lock;
+              (* Open loop: arrival i is due at start + i/rate whatever
+                 the service is doing; a late pickup submits at once. *)
+              let due =
+                start + int_of_float (float_of_int i /. rate *. 1e9)
+              in
+              let now = Clock.monotonic_ns () in
+              if due > now then
+                Unix.sleepf (float_of_int (due - now) /. 1e9);
+              let payloads =
+                Array.init slices (fun s ->
+                    [ Payload.Ints (Array.init 8 (fun j -> i + (s * 100) + j)) ])
+              in
+              let t0 = Clock.monotonic_ns () in
+              (match Service.submit ?deadline t payloads with
+              | Ok results ->
+                  let dt = Clock.monotonic_ns () - t0 in
+                  let exact =
+                    Array.for_all2
+                      (fun sent got ->
+                        match (sent, got) with
+                        | [ Payload.Ints a ], [ Payload.Ints b ] ->
+                            b = Array.map (fun x -> (2 * x) + 1) a
+                        | _ -> false)
+                      payloads results
+                  in
+                  Mutex.lock lock;
+                  incr completed;
+                  if not exact then incr wrong;
+                  latencies := float_of_int dt /. 1e6 :: !latencies;
+                  if
+                    kill_every > 0
+                    && !completed mod kill_every = 0
+                  then begin
+                    let pids = Service.node_pids t in
+                    let victim = Rng.int kill_rng nodes in
+                    (try Unix.kill pids.(victim) Sys.sigkill
+                     with Unix.Unix_error _ -> ())
+                  end;
+                  Mutex.unlock lock
+              | Error Service.Overloaded ->
+                  Mutex.lock lock;
+                  incr shed;
+                  Mutex.unlock lock
+              | Error Service.Deadline_expired ->
+                  Mutex.lock lock;
+                  incr expired;
+                  Mutex.unlock lock
+              | Error (Service.Draining | Service.Failed _) ->
+                  Mutex.lock lock;
+                  incr failed;
+                  Mutex.unlock lock);
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let threads = List.init clients (fun _ -> Thread.create client ()) in
+        List.iter Thread.join threads;
+        let wall =
+          float_of_int (Clock.monotonic_ns () - start) /. 1e9
+        in
+        let sorted = Array.of_list !latencies in
+        Array.sort compare sorted;
+        let module Table = Triolet_harness.Table in
+        Printf.printf
+          "service: %d nodes x %d cores, %d req at %.0f req/s (open loop), \
+           %d clients\n"
+          nodes cores total rate clients;
+        Table.print
+          [
+            [ "metric"; "value" ];
+            [ "wall time"; Printf.sprintf "%.2f s" wall ];
+            [ "completed"; string_of_int !completed ];
+            [ "wrong results"; string_of_int !wrong ];
+            [ "shed (overloaded)"; string_of_int !shed ];
+            [ "deadline expired"; string_of_int !expired ];
+            [ "failed"; string_of_int !failed ];
+            [ "shed rate";
+              Printf.sprintf "%.1f%%"
+                (100.0 *. float_of_int !shed /. float_of_int (max 1 total)) ];
+            [ "p50 latency"; Printf.sprintf "%.2f ms" (percentile sorted 0.50) ];
+            [ "p99 latency"; Printf.sprintf "%.2f ms" (percentile sorted 0.99) ];
+            [ "respawns"; string_of_int (Service.respawns t) ];
+            [ "heartbeat misses"; string_of_int (Service.heartbeat_misses t) ];
+            [ "live nodes"; string_of_int (List.length (Service.live_nodes t)) ];
+          ];
+        (match Service.fault_counters t with
+        | Some c -> Format.printf "injected: %a@." Fault.pp_counters c
+        | None -> ());
+        if !wrong > 0 || !failed > 0 then 1 else 0)
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Service nodes.") in
+  let cores =
+    Arg.(value & opt int 2 & info [ "cores" ] ~doc:"Cores per node.")
+  in
+  let duration =
+    Arg.(value & opt float 2.0
+         & info [ "duration" ] ~docv:"S" ~doc:"Load duration in seconds.")
+  in
+  let rate =
+    Arg.(value & opt float 200.0
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Open-loop arrival rate, requests per second.")
+  in
+  let clients =
+    Arg.(value & opt int 8
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let queue_bound =
+    Arg.(value & opt int 64
+         & info [ "queue-bound" ] ~docv:"N"
+             ~doc:"Admission-queue high-water mark; beyond it requests are \
+                   rejected as overloaded.")
+  in
+  let slices =
+    Arg.(value & opt int 4
+         & info [ "slices" ] ~docv:"K" ~doc:"Slices per request.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"S"
+             ~doc:"Per-request compute budget in seconds; expired requests \
+                   are cancelled, not computed.")
+  in
+  let kill_every =
+    Arg.(value & opt int 0
+         & info [ "kill-every" ] ~docv:"K"
+             ~doc:"Chaos: SIGKILL a random child after every $(docv) \
+                   completed requests (0 = off); the supervisor must \
+                   respawn it.")
+  in
+  let heartbeat_loss =
+    Arg.(value & opt float 0.0
+         & info [ "heartbeat-loss" ] ~docv:"P"
+             ~doc:"Chaos: drop each heartbeat reply with this probability \
+                   (seeded), forcing miss-threshold kills and respawns.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived supervised service demo: open-loop load against a \
+          forked node fabric with heartbeats, respawn, deadlines and \
+          overload shedding; reports p50/p99 latency and supervision \
+          counters")
+    Term.(const run $ nodes $ cores $ duration $ rate $ clients $ queue_bound
+          $ slices $ deadline $ kill_every $ heartbeat_loss $ fault_seed_arg
+          $ verbose_arg)
+
 let () =
   let info =
     Cmd.info "triolet" ~version:"1.0.0"
@@ -625,5 +837,5 @@ let () =
        (Cmd.group info
           [
             fig_cmd; summary_cmd; ablation_cmd; all_cmd; verify_cmd; demo_cmd;
-            sim_cmd; faults_cmd; analyze_cmd; bench_cmd;
+            sim_cmd; faults_cmd; analyze_cmd; bench_cmd; serve_cmd;
           ]))

@@ -15,13 +15,22 @@ type t = {
   grain : int option;  (** scheduler grain override *)
   chunk_multiplier : int;
       (** over-decomposition for pre-chunked local loops *)
+  deadline : float option;
+      (** per-request compute budget in seconds for the long-lived
+          service ({!Triolet_runtime.Service}); [None] = no deadline *)
+  queue_bound : int;
+      (** service admission-queue high-water mark; requests beyond it
+          are rejected [Overloaded] instead of queueing unboundedly *)
+  poll_interval : float;
+      (** process-backend drain / service event-loop poll in seconds
+          (clamped to the fault spec's base timeout where one applies) *)
 }
 
 val default : unit -> t
-(** 4 nodes x 2 cores, no faults, automatic grain, multiplier 4.  The
-    backend honours the [TRIOLET_BACKEND] environment variable
-    (["inprocess"] | ["flat"] | ["process"]; unknown values mean
-    in-process). *)
+(** 4 nodes x 2 cores, no faults, automatic grain, multiplier 4, no
+    deadline, queue bound 64, 10 ms poll.  The backend honours the
+    [TRIOLET_BACKEND] environment variable (["inprocess"] | ["flat"] |
+    ["process"]; unknown values mean in-process). *)
 
 val make :
   ?nodes:int ->
@@ -30,9 +39,14 @@ val make :
   ?faults:Triolet_runtime.Fault.spec option ->
   ?grain:int option ->
   ?chunk_multiplier:int ->
+  ?deadline:float option ->
+  ?queue_bound:int ->
+  ?poll_interval:float ->
   unit ->
   t
-(** A context derived from {!current}, overriding the given fields. *)
+(** A context derived from {!current}, overriding the given fields.
+    Raises [Invalid_argument] on [queue_bound < 1] or a non-positive
+    [poll_interval]. *)
 
 val current : unit -> t
 (** The ambient context (created from {!default} on first use). *)

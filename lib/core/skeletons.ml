@@ -102,7 +102,7 @@ let distributed_reduce ?ctx ~len ~payload_of ~node_work ~result_codec ~merge
       let nblocks = Array.length blocks in
       let result, _report =
         Cluster.run_topology ?pool:(node_pool topo) ?faults:ctx.Exec.faults
-          topo
+          ~poll_interval:ctx.Exec.poll_interval topo
           ~scatter:(fun node ->
             if node < nblocks then
               let off, n = blocks.(node) in
@@ -145,7 +145,8 @@ let distributed_map_blocks ?ctx ~blocks ~payload_of ~node_work ~result_codec ()
       in
       let results = ref [] in
       let (), _report =
-        Cluster.run_topology ?pool ?faults:ctx.Exec.faults topo
+        Cluster.run_topology ?pool ?faults:ctx.Exec.faults
+          ~poll_interval:ctx.Exec.poll_interval topo
           ~scatter:(fun node -> payload_of blocks.(node))
           ~work:(fun ~node ~pool payload -> (node, node_work ~pool payload))
           ~result_codec:(Codec.pair Codec.int result_codec)

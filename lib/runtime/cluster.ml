@@ -521,6 +521,7 @@ let run_faulty pool ~workers spec ~scatter ~work ~result_codec ~merge ~init =
    know where it physically runs (e.g. a test killing one node). *)
 let current_node : int option ref = ref None
 let on_node () = !current_node
+let note_current_node id = current_node := Some id
 
 let ensure_forkable () =
   if Pool.domains_ever_spawned () then
@@ -547,7 +548,12 @@ let run_proc_clean (topo : topology) ~workers ~scatter ~work ~result_codec ~merg
     let rec loop () =
       match Transport.Socket.recv chan with
       | exception Transport.Closed -> ()
-      | (Transport.Err | Transport.Nack), _ -> loop ()
+      | Transport.Ping, payload ->
+          (* Heartbeat: echo the payload straight back.  A child that
+             can run this loop is alive by definition. *)
+          Transport.Socket.send chan ~kind:Transport.Pong payload;
+          loop ()
+      | (Transport.Err | Transport.Nack | Transport.Pong), _ -> loop ()
       | Transport.Data, bytes ->
           (match
              let payload = Codec.of_bytes Payload.codec bytes in
@@ -603,6 +609,11 @@ let run_proc_clean (topo : topology) ~workers ~scatter ~work ~result_codec ~merg
             failwith (Printf.sprintf "Cluster: node %d raised: %s" w msg)
         | Transport.Nack, _ ->
             failwith (Printf.sprintf "Cluster: node %d rejected its task" w)
+        | (Transport.Ping | Transport.Pong), _ ->
+            (* Heartbeats belong to the service fabric, not a one-shot
+               run; a stray one here is a protocol violation. *)
+            failwith
+              (Printf.sprintf "Cluster: unexpected heartbeat frame from node %d" w)
         | Transport.Data, reply ->
             max_msg := max !max_msg (Bytes.length reply);
             gather_bytes := !gather_bytes + Bytes.length reply;
@@ -627,9 +638,15 @@ let run_proc_clean (topo : topology) ~workers ~scatter ~work ~result_codec ~merg
           max_message_bytes = !max_msg;
         } ))
 
-let run_proc_faulty (topo : topology) ~workers spec ~scatter ~work ~result_codec ~merge
-    ~init =
+let run_proc_faulty (topo : topology) ~workers ~poll_interval spec ~scatter ~work
+    ~result_codec ~merge ~init =
   ensure_forkable ();
+  if poll_interval <= 0.0 then invalid_arg "Cluster: poll interval must be positive";
+  (* The drain poll must never outwait the fault spec's base timeout —
+     otherwise a retry round could fire while late traffic that would
+     have satisfied it sits unread in a socket buffer. *)
+  let drain_poll = Float.min poll_interval spec.Fault.base_timeout in
+  assert (drain_poll <= spec.Fault.base_timeout);
   let fault = Fault.make spec in
   let scatter_codec = Codec.checksummed Codec.(triple int int Payload.codec) in
   let reply_codec = Codec.checksummed Codec.(triple int int result_codec) in
@@ -649,7 +666,10 @@ let run_proc_faulty (topo : topology) ~workers spec ~scatter ~work ~result_codec
     let rec loop () =
       match Transport.Socket.recv chan with
       | exception Transport.Closed -> ()
-      | (Transport.Err | Transport.Nack), _ -> loop ()
+      | Transport.Ping, payload ->
+          Transport.Socket.send chan ~kind:Transport.Pong payload;
+          loop ()
+      | (Transport.Err | Transport.Nack | Transport.Pong), _ -> loop ()
       | Transport.Data, bytes ->
           (match Codec.of_bytes scatter_codec bytes with
           | exception _ ->
@@ -814,6 +834,12 @@ let run_proc_faulty (topo : topology) ~workers spec ~scatter ~work ~result_codec
                   if wk >= 0 && wk < workers then
                     failed_exn.(wk) <-
                       Some (Failure (Printf.sprintf "node work raised: %s" msg)))
+          | `Msg (_, (Transport.Ping | Transport.Pong), _) ->
+              (* One-shot runs exchange no heartbeats; ignore strays. *)
+              ()
+          | `Wake ->
+              (* No wake descriptor is registered on this path. *)
+              ()
           | `Msg (_, Transport.Nack, _) -> corrupt_reject ()
           | `Eof node ->
               if Fault.mark_crashed fault node then
@@ -872,7 +898,7 @@ let run_proc_faulty (topo : topology) ~workers spec ~scatter ~work ~result_codec
       Queue.clear delayed_in;
       Queue.clear delayed_out;
       let rec drain () =
-        match Transport.Proc.recv_any fabric ~timeout:0.01 with
+        match Transport.Proc.recv_any fabric ~timeout:drain_poll with
         | `Msg (_, Transport.Data, bytes) ->
             max_msg := max !max_msg (Bytes.length bytes);
             gather_bytes := !gather_bytes + Bytes.length bytes;
@@ -880,7 +906,10 @@ let run_proc_faulty (topo : topology) ~workers spec ~scatter ~work ~result_codec
             Stats.record_message ~bytes:(Bytes.length bytes);
             drain_frame bytes;
             drain ()
-        | `Msg (_, (Transport.Err | Transport.Nack), _) -> drain ()
+        | `Msg (_, (Transport.Err | Transport.Nack | Transport.Ping | Transport.Pong), _)
+          ->
+            drain ()
+        | `Wake -> drain ()
         | `Eof node ->
             ignore (Fault.mark_crashed fault node);
             drain ()
@@ -922,7 +951,8 @@ let run_proc_faulty (topo : topology) ~workers spec ~scatter ~work ~result_codec
 
 (* ------------------------------------------------------------------ *)
 
-let run_topology ?pool ?faults (topo : topology) ~scatter ~work ~result_codec ~merge ~init =
+let run_topology ?pool ?faults ?(poll_interval = 0.01) (topo : topology) ~scatter ~work
+    ~result_codec ~merge ~init =
   if topo.nodes <= 0 || topo.cores_per_node <= 0 then
     invalid_arg "Cluster.run: bad config";
   let workers = topology_workers topo in
@@ -945,8 +975,8 @@ let run_topology ?pool ?faults (topo : topology) ~scatter ~work ~result_codec ~m
       match faults with
       | None -> run_proc_clean topo ~workers ~scatter ~work ~result_codec ~merge ~init
       | Some spec ->
-          run_proc_faulty topo ~workers spec ~scatter ~work ~result_codec
-            ~merge ~init)
+          run_proc_faulty topo ~workers ~poll_interval spec ~scatter ~work
+            ~result_codec ~merge ~init)
 
 let run ?pool ?faults cfg ~scatter ~work ~result_codec ~merge ~init =
   run_topology ?pool ?faults (topology_of_config cfg) ~scatter ~work

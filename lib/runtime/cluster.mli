@@ -96,6 +96,7 @@ exception Recovery_exhausted of { worker : int; attempts : int }
 val run_topology :
   ?pool:Pool.t ->
   ?faults:Fault.spec ->
+  ?poll_interval:float ->
   topology ->
   scatter:(int -> Triolet_base.Payload.t) ->
   work:(node:int -> pool:Pool.t -> Triolet_base.Payload.t -> 'r) ->
@@ -122,12 +123,22 @@ val run_topology :
       realized as real child exits; a child killed externally (EOF on
       its channel) is recovered exactly like an injected crash.  On the
       clean path, byte and message accounting (payload bytes; frame
-      headers excluded) matches the in-process backend exactly. *)
+      headers excluded) matches the in-process backend exactly.
+
+    [?poll_interval] (default [0.01] s, must be positive) is the
+    process backend's late-traffic drain poll; it is clamped to the
+    fault spec's [base_timeout] so the drain can never outwait a retry
+    round.  Sourced from {!Exec.t}[.poll_interval] by the skeleton
+    layer. *)
 
 val on_node : unit -> int option
 (** Inside a process-backend child: the id of the node this process
     is.  [None] in the parent and under in-process backends (where
     task code can instead trust [work]'s [~node] argument). *)
+
+val note_current_node : int -> unit
+(** Record this process's node id for {!on_node} — called by child
+    serve loops ({!Service} forks its own, outside this module). *)
 
 val run :
   ?pool:Pool.t ->

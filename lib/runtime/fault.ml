@@ -56,15 +56,24 @@ type spec = {
   max_attempts : int;  (** per-worker cap on (re-)execution attempts *)
   base_timeout : float;  (** seconds; first gather/node receive timeout *)
   max_timeout : float;  (** cap for the exponential backoff *)
+  heartbeat_loss : float;
+      (** P(a child's pong never reaches the supervisor) — exercises
+          the missed-heartbeat death verdict on live children *)
+  crash_on_respawn : float;
+      (** P(a respawned child dies immediately) — exercises the
+          supervisor's backoff on flapping nodes *)
 }
 
 let spec ?(drop = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0) ?(delay = 0.0)
     ?faults_of ?crash ?(stragglers = []) ?(max_attempts = 8)
-    ?(base_timeout = 0.005) ?(max_timeout = 0.1) ~seed () =
+    ?(base_timeout = 0.005) ?(max_timeout = 0.1) ?(heartbeat_loss = 0.0)
+    ?(crash_on_respawn = 0.0) ~seed () =
   check_prob "drop" drop;
   check_prob "duplicate" duplicate;
   check_prob "corrupt" corrupt;
   check_prob "delay" delay;
+  check_prob "heartbeat_loss" heartbeat_loss;
+  check_prob "crash_on_respawn" crash_on_respawn;
   if max_attempts < 1 then invalid_arg "Fault.spec: max_attempts < 1";
   if base_timeout <= 0.0 || max_timeout < base_timeout then
     invalid_arg "Fault.spec: bad timeouts";
@@ -73,7 +82,7 @@ let spec ?(drop = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0) ?(delay = 0.0)
     match faults_of with Some f -> f | None -> fun _ -> uniform
   in
   { seed; faults_of; crash; stragglers; max_attempts; base_timeout;
-    max_timeout }
+    max_timeout; heartbeat_loss; crash_on_respawn }
 
 type counters = {
   drops : int;
@@ -81,15 +90,21 @@ type counters = {
   corruptions : int;
   delays : int;
   crashes : int;
+  heartbeat_losses : int;
+  respawn_crashes : int;
 }
 
 let zero_counters =
-  { drops = 0; duplicates = 0; corruptions = 0; delays = 0; crashes = 0 }
+  { drops = 0; duplicates = 0; corruptions = 0; delays = 0; crashes = 0;
+    heartbeat_losses = 0; respawn_crashes = 0 }
 
 let pp_counters fmt c =
   Format.fprintf fmt
     "drops=%d duplicates=%d corruptions=%d delays=%d crashes=%d" c.drops
-    c.duplicates c.corruptions c.delays c.crashes
+    c.duplicates c.corruptions c.delays c.crashes;
+  if c.heartbeat_losses > 0 || c.respawn_crashes > 0 then
+    Format.fprintf fmt " heartbeat_losses=%d respawn_crashes=%d"
+      c.heartbeat_losses c.respawn_crashes
 
 type t = {
   s : spec;
@@ -253,3 +268,40 @@ let mark_crashed t node =
     Stats.record_fault ()
   end;
   fresh
+
+(* Service-fabric fault points.  Decided supervisor-side from the same
+   seeded stream as link faults: the supervisor is the fabric's single
+   protocol owner, so one stream means one schedule.  A rate of zero
+   consumes no randomness (see [roll]), so plans written before these
+   points existed keep their exact fault schedules. *)
+
+type service_fault =
+  | Heartbeat_loss
+      (** a pong from a live child is discarded before the supervisor
+          sees it; enough in a row trips the miss threshold *)
+  | Crash_on_respawn
+      (** a freshly respawned child dies before serving anything,
+          forcing the supervisor's backoff to escalate *)
+
+(** [inject t fault ~node] draws whether to fire [fault] against
+    [node]'s supervision path.  Seeded and deterministic; counted in
+    {!counters} and {!Stats}.  The [node] argument is for tracing only —
+    rates are uniform across nodes. *)
+let inject t fault ~node =
+  ignore node;
+  Mutex.lock t.lock;
+  let fire =
+    match fault with
+    | Heartbeat_loss ->
+        let f = roll t t.s.heartbeat_loss in
+        if f then
+          bump t (fun c -> { c with heartbeat_losses = c.heartbeat_losses + 1 });
+        f
+    | Crash_on_respawn ->
+        let f = roll t t.s.crash_on_respawn in
+        if f then
+          bump t (fun c -> { c with respawn_crashes = c.respawn_crashes + 1 });
+        f
+  in
+  Mutex.unlock t.lock;
+  fire

@@ -32,6 +32,8 @@ type spec = {
   max_attempts : int;  (** per-worker cap on (re-)execution attempts *)
   base_timeout : float;  (** seconds; first receive timeout *)
   max_timeout : float;  (** backoff cap *)
+  heartbeat_loss : float;  (** P(a child's pong is discarded in transit) *)
+  crash_on_respawn : float;  (** P(a respawned child dies immediately) *)
 }
 
 val spec :
@@ -45,12 +47,16 @@ val spec :
   ?max_attempts:int ->
   ?base_timeout:float ->
   ?max_timeout:float ->
+  ?heartbeat_loss:float ->
+  ?crash_on_respawn:float ->
   seed:int ->
   unit ->
   spec
 (** Plan constructor.  [drop]/[duplicate]/[corrupt]/[delay] set a
     uniform per-link rate (all default 0); [faults_of] overrides the
-    rates per link.  Defaults: no crash, no stragglers, 8 attempts,
+    rates per link.  [heartbeat_loss] and [crash_on_respawn] (both
+    default 0) target the service fabric's supervision path — see
+    {!service_fault}.  Defaults: no crash, no stragglers, 8 attempts,
     5 ms base timeout capped at 100 ms.  Raises [Invalid_argument] on
     rates outside [0,1] or nonsensical limits. *)
 
@@ -68,6 +74,8 @@ type counters = {
   corruptions : int;
   delays : int;
   crashes : int;
+  heartbeat_losses : int;
+  respawn_crashes : int;
 }
 
 val zero_counters : counters
@@ -105,3 +113,19 @@ val mark_crashed : t -> int -> bool
     killed externally.  True if the death was fresh. *)
 
 val is_crashed : t -> int -> bool
+
+type service_fault =
+  | Heartbeat_loss
+      (** a pong from a live child is discarded before the supervisor
+          sees it; enough in a row trips the miss threshold *)
+  | Crash_on_respawn
+      (** a freshly respawned child dies before serving anything,
+          forcing the supervisor's backoff to escalate *)
+
+val inject : t -> service_fault -> node:int -> bool
+(** Draw whether to fire a service-fabric fault against [node]'s
+    supervision path, from the same seeded stream as link faults (the
+    supervisor is the fabric's single protocol owner, so one stream is
+    one schedule).  Zero-rate faults consume no randomness: plans
+    written before these points existed keep their exact schedules.
+    Counted in {!counters} and {!Stats}. *)

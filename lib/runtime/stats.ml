@@ -35,6 +35,10 @@ type snapshot = {
   corrupt_drops : int;  (** messages rejected by checksum/decode *)
   crashed_nodes : int;  (** node crashes fired by the injector *)
   recovery_ns : int;  (** wall time spent in timeout/retry recovery *)
+  respawns : int;  (** dead service children replaced by the supervisor *)
+  heartbeat_misses : int;  (** heartbeat silences that tripped the threshold *)
+  shed : int;  (** requests rejected [Overloaded] by admission control *)
+  deadline_expired : int;  (** requests cancelled past their deadline *)
   per_worker : worker_snapshot array;
 }
 
@@ -51,6 +55,10 @@ let redeliveries = Atomic.make 0
 let corrupt_drops = Atomic.make 0
 let crashed_nodes = Atomic.make 0
 let recovery_ns = Atomic.make 0
+let respawns = Atomic.make 0
+let heartbeat_misses = Atomic.make 0
+let shed = Atomic.make 0
+let deadline_expired = Atomic.make 0
 
 (* Per-worker slots, indexed by pool worker id.  Each worker only ever
    bumps its own slot, so the fields are plain atomics with no
@@ -136,6 +144,12 @@ let record_corrupt_drop () = add corrupt_drops 1
 let record_crash () = add crashed_nodes 1
 let record_recovery_ns ns = add recovery_ns ns
 
+(* Service-fabric counters (bumped by {!Supervisor} and {!Service}). *)
+let record_respawn () = add respawns 1
+let record_heartbeat_miss () = add heartbeat_misses 1
+let record_shed () = add shed 1
+let record_deadline_expired () = add deadline_expired 1
+
 (* Coherence model.  A snapshot reads each atomic independently — there
    is no global lock, so it is not a single consistent cut: a snapshot
    taken while workers run may pair counter A's value from slightly
@@ -168,6 +182,10 @@ let raw_snapshot () =
     corrupt_drops = Atomic.get corrupt_drops;
     crashed_nodes = Atomic.get crashed_nodes;
     recovery_ns = Atomic.get recovery_ns;
+    respawns = Atomic.get respawns;
+    heartbeat_misses = Atomic.get heartbeat_misses;
+    shed = Atomic.get shed;
+    deadline_expired = Atomic.get deadline_expired;
     per_worker =
       Array.map
         (fun c ->
@@ -211,6 +229,10 @@ let diff a b =
     corrupt_drops = a.corrupt_drops - b.corrupt_drops;
     crashed_nodes = a.crashed_nodes - b.crashed_nodes;
     recovery_ns = a.recovery_ns - b.recovery_ns;
+    respawns = a.respawns - b.respawns;
+    heartbeat_misses = a.heartbeat_misses - b.heartbeat_misses;
+    shed = a.shed - b.shed;
+    deadline_expired = a.deadline_expired - b.deadline_expired;
     per_worker =
       Array.mapi
         (fun i wa ->
@@ -237,6 +259,10 @@ let zero =
     corrupt_drops = 0;
     crashed_nodes = 0;
     recovery_ns = 0;
+    respawns = 0;
+    heartbeat_misses = 0;
+    shed = 0;
+    deadline_expired = 0;
     per_worker = [||];
   }
 
@@ -287,6 +313,13 @@ let pp_snapshot fmt s =
       s.faults_injected s.retries s.redeliveries s.corrupt_drops
       s.crashed_nodes
       (float_of_int s.recovery_ns /. 1e6);
+  if
+    s.respawns > 0 || s.heartbeat_misses > 0 || s.shed > 0
+    || s.deadline_expired > 0
+  then
+    Format.fprintf fmt
+      "@\n  respawns=%d heartbeat-misses=%d shed=%d deadline-expired=%d"
+      s.respawns s.heartbeat_misses s.shed s.deadline_expired;
   Array.iteri
     (fun i w ->
       if w.w_chunks > 0 || w.w_busy_ns > 0 then

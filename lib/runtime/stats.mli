@@ -28,6 +28,10 @@ type snapshot = {
   corrupt_drops : int;  (** messages rejected by checksum/decode *)
   crashed_nodes : int;  (** node crashes fired by the injector *)
   recovery_ns : int;  (** wall time spent in timeout/retry recovery *)
+  respawns : int;  (** dead service children replaced by the supervisor *)
+  heartbeat_misses : int;  (** heartbeat silences that tripped the threshold *)
+  shed : int;  (** requests rejected [Overloaded] by admission control *)
+  deadline_expired : int;  (** requests cancelled past their deadline *)
   per_worker : worker_snapshot array;
 }
 
@@ -57,6 +61,16 @@ val record_redelivery : unit -> unit
 val record_corrupt_drop : unit -> unit
 val record_crash : unit -> unit
 val record_recovery_ns : int -> unit
+
+(** {1 Service-fabric counters}
+
+    Bumped by the long-lived service's supervisor and admission
+    control; zero outside {!Service} runs. *)
+
+val record_respawn : unit -> unit
+val record_heartbeat_miss : unit -> unit
+val record_shed : unit -> unit
+val record_deadline_expired : unit -> unit
 
 (** {1 Snapshots and deltas}
 

@@ -1,0 +1,212 @@
+(** Child supervision for the long-lived service fabric.
+
+    A {!Service} keeps one forked worker per node warm across requests;
+    this module owns the per-child health state machine that keeps that
+    fabric true to its configured size:
+
+    - {b heartbeats}: every [heartbeat_interval] seconds the supervisor
+      sends a [Ping] frame down each live channel; a live child echoes
+      the payload back as a [Pong].  [miss_threshold] consecutive
+      unanswered pings are a death verdict — the child is SIGKILLed so
+      its EOF surfaces through the one code path every kind of death
+      already takes (crash, injected [_exit], external kill, hang).
+    - {b respawn}: an EOF'd child is replaced by a fresh fork of the
+      same serve closure after a backoff delay.  The delay starts at
+      [backoff_base] and doubles (capped at [backoff_max]) while the
+      node keeps dying young — a flapping child must not busy-loop the
+      fork path — and resets to the base once a respawned child proves
+      itself with a pong.
+
+    Both paths are chaos-testable under the seeded {!Fault} injector:
+    [Fault.Heartbeat_loss] discards a pong before the supervisor sees
+    it, [Fault.Crash_on_respawn] makes a replacement child exit before
+    serving anything.  Decisions are drawn supervisor-side from the
+    injector's single stream, so a fixed seed fixes the schedule.
+
+    The supervisor performs no I/O multiplexing of its own: the owner
+    (the service dispatcher) runs the [select] loop, feeds pongs and
+    EOFs in, and calls {!tick} from its idle edge.  All calls must come
+    from that single owner thread. *)
+
+module Obs = Triolet_obs.Obs
+
+type child = {
+  id : int;
+  mutable last_pong : int;  (* monotonic ns; birth time until first pong *)
+  mutable last_ping : int;  (* monotonic ns of the newest ping sent *)
+  mutable outstanding : int;  (* pings sent since the last accepted pong *)
+  mutable backoff : float;  (* next respawn delay, seconds *)
+  mutable respawn_at : int option;  (* monotonic ns when a respawn is due *)
+  mutable fresh_spawn : bool;  (* respawned but not yet pong-verified *)
+}
+
+type t = {
+  fabric : Transport.Proc.t;
+  serve : id:int -> Transport.Socket.t -> unit;
+  hb_interval : float;
+  miss_threshold : int;
+  backoff_base : float;
+  backoff_max : float;
+  faults : Fault.t option;
+  children : child array;
+  mutable respawns : int;
+  mutable heartbeat_misses : int;
+}
+
+let ns_of_s s = int_of_float (s *. 1e9)
+
+let create ~fabric ~serve ?(hb_interval = 0.05) ?(miss_threshold = 3)
+    ?(backoff_base = 0.01) ?(backoff_max = 1.0) ?faults () =
+  if hb_interval <= 0.0 then invalid_arg "Supervisor: hb_interval <= 0";
+  if miss_threshold < 1 then invalid_arg "Supervisor: miss_threshold < 1";
+  if backoff_base <= 0.0 || backoff_max < backoff_base then
+    invalid_arg "Supervisor: bad backoff";
+  let now = Clock.monotonic_ns () in
+  {
+    fabric;
+    serve;
+    hb_interval;
+    miss_threshold;
+    backoff_base;
+    backoff_max;
+    faults;
+    children =
+      Array.init (Transport.Proc.size fabric) (fun id ->
+          {
+            id;
+            last_pong = now;
+            last_ping = now;
+            outstanding = 0;
+            backoff = backoff_base;
+            respawn_at = None;
+            fresh_spawn = false;
+          });
+    respawns = 0;
+    heartbeat_misses = 0;
+  }
+
+let respawns t = t.respawns
+let heartbeat_misses t = t.heartbeat_misses
+let live_ids t = Transport.Proc.alive_ids t.fabric
+let alive t i = Transport.Proc.is_alive t.fabric i
+
+(** A pong arrived from node [i].  Subject to the seeded
+    [Heartbeat_loss] injection: a dropped pong leaves the miss counter
+    ticking exactly as real network silence would.  Returns whether the
+    pong was accepted. *)
+let note_pong t i ~now =
+  let lost =
+    match t.faults with
+    | Some f -> Fault.inject f Fault.Heartbeat_loss ~node:i
+    | None -> false
+  in
+  if lost then
+    Obs.instant ~name:"service.heartbeat.lost"
+      ~attrs:[ ("node", string_of_int i) ]
+      ()
+  else begin
+    let c = t.children.(i) in
+    c.last_pong <- now;
+    c.outstanding <- 0;
+    if c.fresh_spawn then begin
+      (* The replacement held long enough to answer a ping: stop
+         escalating against this node. *)
+      c.fresh_spawn <- false;
+      c.backoff <- t.backoff_base
+    end
+  end;
+  not lost
+
+(** Node [i]'s channel hit EOF: every kind of death funnels through
+    here.  Schedules the replacement fork after the node's current
+    backoff and escalates the backoff for the next time. *)
+let note_eof t i ~now =
+  let c = t.children.(i) in
+  if c.respawn_at = None then begin
+    Obs.instant ~name:"service.child.death"
+      ~attrs:
+        [ ("node", string_of_int i); ("backoff", Printf.sprintf "%.3f" c.backoff) ]
+      ();
+    c.respawn_at <- Some (now + ns_of_s c.backoff);
+    c.backoff <- Float.min t.backoff_max (c.backoff *. 2.0);
+    c.outstanding <- 0
+  end
+
+(* The replacement child: possibly sacrificed to the seeded
+   [Crash_on_respawn] point (decided in the parent, before the fork, so
+   the schedule never depends on child-side state).  A sacrificed child
+   exits before serving anything — the parent sees a fresh EOF and the
+   backoff escalates, exactly like a real flapping node. *)
+let do_respawn t i =
+  let crash_young =
+    match t.faults with
+    | Some f -> Fault.inject f Fault.Crash_on_respawn ~node:i
+    | None -> false
+  in
+  let serve = t.serve in
+  let child ~id chan =
+    if crash_young then Transport.Socket.close chan else serve ~id chan
+  in
+  Transport.Proc.respawn t.fabric i ~child;
+  t.respawns <- t.respawns + 1;
+  Stats.record_respawn ();
+  Obs.instant ~name:"service.respawn"
+    ~attrs:[ ("node", string_of_int i); ("pid", string_of_int (Transport.Proc.pid t.fabric i)) ]
+    ();
+  let c = t.children.(i) in
+  let now = Clock.monotonic_ns () in
+  c.last_pong <- now;
+  c.last_ping <- now;
+  c.outstanding <- 0;
+  c.respawn_at <- None;
+  c.fresh_spawn <- true
+
+(** Drive the state machine from the owner's idle edge: send due pings,
+    convert [miss_threshold] unanswered pings into a SIGKILL (the EOF
+    lands in the owner's [recv_any] and comes back via {!note_eof}),
+    and perform respawns whose backoff has elapsed. *)
+let tick t ~now =
+  Array.iter
+    (fun c ->
+      if Transport.Proc.is_alive t.fabric c.id then begin
+        if c.outstanding >= t.miss_threshold then begin
+          (* Silent death (or a hung child): force the EOF. *)
+          t.heartbeat_misses <- t.heartbeat_misses + 1;
+          Stats.record_heartbeat_miss ();
+          Obs.instant ~name:"service.heartbeat.miss"
+            ~attrs:[ ("node", string_of_int c.id) ]
+            ();
+          c.outstanding <- 0;
+          Transport.Proc.kill t.fabric c.id
+        end
+        else if now - c.last_ping >= ns_of_s t.hb_interval then begin
+          c.last_ping <- now;
+          c.outstanding <- c.outstanding + 1;
+          try
+            Transport.Socket.send
+              (Transport.Proc.node t.fabric c.id).Transport.Proc.chan
+              ~kind:Transport.Ping Bytes.empty
+          with Transport.Closed -> ()
+        end
+      end
+      else
+        match c.respawn_at with
+        | Some at when now >= at -> do_respawn t c.id
+        | _ -> ())
+    t.children
+
+(** Seconds until the next scheduled event (ping due or respawn due);
+    the owner caps its select timeout with this so heartbeat cadence
+    survives long idle stretches. *)
+let next_event_in t ~now =
+  Array.fold_left
+    (fun acc c ->
+      let candidate =
+        if Transport.Proc.is_alive t.fabric c.id then
+          Some (c.last_ping + ns_of_s t.hb_interval)
+        else match c.respawn_at with Some at -> Some at | None -> None
+      in
+      match candidate with
+      | None -> acc
+      | Some at -> Float.min acc (Float.max 0.0 (float_of_int (at - now) /. 1e9)))
+    t.hb_interval t.children

@@ -38,15 +38,27 @@ exception Closed
 (** Frame kinds.  [Data] carries protocol payload; [Err] carries a
     remote failure report (an exception escaping task code); [Nack]
     signals that the receiver rejected a frame (e.g. a corrupt task
-    envelope) without producing a result. *)
-type kind = Data | Err | Nack
+    envelope) without producing a result.  [Ping]/[Pong] are the
+    heartbeat frames of the long-lived service fabric: a supervisor
+    pings its children, a live child echoes the payload back as a pong,
+    and a silence longer than the miss threshold is a death verdict
+    even when the socket never delivers an EOF (a hung child keeps its
+    end open forever). *)
+type kind = Data | Err | Nack | Ping | Pong
 
-let kind_to_byte = function Data -> '\000' | Err -> '\001' | Nack -> '\002'
+let kind_to_byte = function
+  | Data -> '\000'
+  | Err -> '\001'
+  | Nack -> '\002'
+  | Ping -> '\003'
+  | Pong -> '\004'
 
 let kind_of_byte = function
   | '\000' -> Data
   | '\001' -> Err
   | '\002' -> Nack
+  | '\003' -> Ping
+  | '\004' -> Pong
   | c -> invalid_arg (Printf.sprintf "Transport: bad frame kind %d" (Char.code c))
 
 (** The transport interface: length-prefixed byte frames over a
@@ -251,17 +263,28 @@ module Socket_s : S = Socket
 module Proc = struct
   type node = {
     id : int;
-    pid : int;
-    chan : Socket.t;  (** parent-side endpoint *)
+    mutable pid : int;  (** current incarnation; replaced on respawn *)
+    mutable chan : Socket.t;  (** parent-side endpoint *)
     mutable alive : bool;
         (** flipped to false when the parent sees EOF (child exited,
             crashed, or was killed) *)
+    mutable reaped : bool;
+        (** the current [pid] has been waited for; nothing left to
+            collect until a respawn replaces it *)
   }
 
-  type t = { nodes : node array }
+  (* [lock] serializes teardown state (close/reap/respawn flags) so
+     [shutdown] is idempotent and safe to race against a child dying —
+     a double-shutdown or an EPIPE mid-teardown must never escape into
+     the caller's [~finally].  Frame I/O itself stays lock-free: the
+     fabric has a single protocol owner (the run loop or the service
+     dispatcher), and signals ([kill]) are async-safe anyway. *)
+  type t = { nodes : node array; lock : Mutex.t; mutable shut : bool }
 
   let node t i = t.nodes.(i)
+  let pid t i = t.nodes.(i).pid
   let is_alive t i = t.nodes.(i).alive
+  let size t = Array.length t.nodes
   let alive_ids t =
     Array.to_list t.nodes
     |> List.filter_map (fun n -> if n.alive then Some n.id else None)
@@ -299,35 +322,45 @@ module Proc = struct
                with _ -> (try Socket.close child_end with _ -> ()));
               Unix._exit 0
           | pid ->
-              { id = i; pid; chan = parent_end; alive = true })
+              { id = i; pid; chan = parent_end; alive = true; reaped = false })
     in
     (* Parent: the child ends belong to the children now. *)
     Array.iter (fun (_, child_end) -> Socket.close child_end) pairs;
-    { nodes }
+    { nodes; lock = Mutex.create (); shut = false }
 
   (** Multiplexed receive: the next frame from any live child, that
-      child's EOF, or a timeout.  EOF marks the node dead and closes
+      child's EOF, a timeout, or — when [wake] is given — [`Wake] once
+      that descriptor becomes readable (a self-pipe poked by another
+      thread; the caller drains it).  EOF marks the node dead and closes
       its channel. *)
-  let recv_any t ~timeout =
+  let recv_any ?wake t ~timeout =
     let live = Array.to_list t.nodes |> List.filter (fun n -> n.alive) in
-    if live = [] then `No_nodes
+    if live = [] && wake = None then `No_nodes
     else
       let fds = List.map (fun n -> Socket.fd n.chan) live in
+      let fds = match wake with Some w -> w :: fds | None -> fds in
       match Unix.select fds [] [] timeout with
       | [], _, _ -> `Timeout
-      | fd :: _, _, _ -> (
-          let n = List.find (fun n -> Socket.fd n.chan = fd) live in
-          match Socket.try_recv_header n.chan with
-          | Some (kind, payload) -> `Msg (n.id, kind, payload)
-          | None | (exception Closed) ->
-              n.alive <- false;
-              Socket.close n.chan;
-              `Eof n.id)
+      | ready, _, _ -> (
+          match wake with
+          | Some w when List.mem w ready -> `Wake
+          | _ -> (
+              let fd = List.hd ready in
+              let n = List.find (fun n -> Socket.fd n.chan = fd) live in
+              match Socket.try_recv_header n.chan with
+              | Some (kind, payload) -> `Msg (n.id, kind, payload)
+              | None | (exception Closed) ->
+                  n.alive <- false;
+                  Socket.close n.chan;
+                  `Eof n.id))
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Timeout
 
   (* Reap one child: EOF-induced exit first (closing our end already
-     told it to stop), then a grace window, then SIGKILL. *)
-  let reap ?(grace = 1.0) n =
+     told it to stop), then a grace window, then SIGKILL.  Idempotent:
+     the [reaped] flag (set under [lock] by callers) ensures a pid is
+     waited for exactly once, so a double-shutdown or a shutdown racing
+     a concurrent reap can never wait on a recycled pid. *)
+  let reap_node ?(grace = 1.0) n =
     let deadline = Clock.monotonic_ns () + int_of_float (grace *. 1e9) in
     let rec wait_nohang () =
       match Unix.waitpid [ Unix.WNOHANG ] n.pid with
@@ -346,9 +379,79 @@ module Proc = struct
     in
     wait_nohang ()
 
+  (* Claim the right to reap [n]'s current pid; at most one caller wins. *)
+  let claim_reap t n =
+    Mutex.lock t.lock;
+    let mine = not n.reaped in
+    if mine then n.reaped <- true;
+    Mutex.unlock t.lock;
+    mine
+
+  (** Reap node [i]: close the channel (EOF tells the child to exit),
+      wait, escalate to SIGKILL after [grace].  Idempotent and safe to
+      call concurrently with the child dying on its own. *)
+  let reap ?grace t i =
+    let n = t.nodes.(i) in
+    n.alive <- false;
+    Socket.close n.chan;
+    if claim_reap t n then reap_node ?grace n
+
+  (** SIGKILL node [i]'s current incarnation (no reap — the parent's
+      next [recv_any] sees the EOF and marks the node dead, exactly as
+      an externally injected crash would). *)
+  let kill t i =
+    let n = t.nodes.(i) in
+    try Unix.kill n.pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+  (** Replace node [i] with a fresh child running [child ~id:i].  The
+      old incarnation must already be dead (EOF seen / reaped); its pid
+      is collected here if nobody has yet.  Must run on the fabric
+      owner's thread, and — like [fork] — requires that no domain has
+      ever been spawned in this process. *)
+  let respawn t i ~child =
+    let n = t.nodes.(i) in
+    Socket.close n.chan;
+    if claim_reap t n then reap_node ~grace:0.0 n;
+    flush_all ();
+    let parent_end, child_end = Socket.connect () in
+    (match Unix.fork () with
+    | 0 ->
+        (* Child: drop every other node's parent-side descriptor so EOF
+           detection on the siblings' channels keeps working, then run
+           the same serve closure as the original incarnation. *)
+        Socket.close parent_end;
+        Array.iter
+          (fun other -> if other.id <> i then try Socket.close other.chan with _ -> ())
+          t.nodes;
+        (try child ~id:i child_end
+         with _ -> (try Socket.close child_end with _ -> ()));
+        Unix._exit 0
+    | pid ->
+        Socket.close child_end;
+        Mutex.lock t.lock;
+        n.pid <- pid;
+        n.chan <- parent_end;
+        n.alive <- true;
+        n.reaped <- false;
+        Mutex.unlock t.lock)
+
   (** Close every channel (children read EOF and exit) and reap all
-      children, escalating to SIGKILL after [grace] seconds each. *)
+      children, escalating to SIGKILL after [grace] seconds each.
+      Idempotent — a second call (or a call racing a child's death) is
+      a no-op for already-reaped children and never raises, so it is
+      safe inside a [~finally]. *)
   let shutdown ?grace t =
-    Array.iter (fun n -> Socket.close n.chan) t.nodes;
-    Array.iter (fun n -> reap ?grace n) t.nodes
+    Mutex.lock t.lock;
+    let first = not t.shut in
+    t.shut <- true;
+    Mutex.unlock t.lock;
+    ignore first;
+    Array.iter
+      (fun n ->
+        n.alive <- false;
+        try Socket.close n.chan with _ -> ())
+      t.nodes;
+    Array.iter
+      (fun n -> if claim_reap t n then try reap_node ?grace n with _ -> ())
+      t.nodes
 end

@@ -203,6 +203,53 @@ let test_injector_deterministic () =
   check_bool "same seed, same schedule" true (a = b);
   check_bool "different seed, different schedule" true (a <> c)
 
+(* Service-fault injection points: seeded, deterministic, and inert at
+   rate zero. *)
+
+let inject_schedule ~heartbeat_loss ~crash_on_respawn ~seed n =
+  let f =
+    Fault.make (Fault.spec ~heartbeat_loss ~crash_on_respawn ~seed ())
+  in
+  List.init n (fun i ->
+      if i mod 2 = 0 then Fault.inject f Fault.Heartbeat_loss ~node:(i mod 4)
+      else Fault.inject f Fault.Crash_on_respawn ~node:(i mod 4))
+
+let test_inject_deterministic () =
+  let sched seed = inject_schedule ~heartbeat_loss:0.4 ~crash_on_respawn:0.3 ~seed 200 in
+  (* Bit-for-bit: the same seed yields the same boolean sequence. *)
+  check_bool "same seed, same injections" true (sched 13 = sched 13);
+  check_bool "different seed, different injections" true (sched 13 <> sched 14);
+  (* Rates actually bite, and the counters match the fired decisions. *)
+  let f = Fault.make (Fault.spec ~heartbeat_loss:1.0 ~crash_on_respawn:0.0 ~seed:3 ()) in
+  for i = 0 to 9 do
+    check_bool "rate 1 always fires" true (Fault.inject f Fault.Heartbeat_loss ~node:i);
+    check_bool "rate 0 never fires" false (Fault.inject f Fault.Crash_on_respawn ~node:i)
+  done;
+  let c = Fault.counters f in
+  check_int "losses counted" 10 c.Fault.heartbeat_losses;
+  check_int "no respawn crashes" 0 c.Fault.respawn_crashes
+
+(* Zero-rate service faults must consume no randomness: a pre-existing
+   plan's link-fault schedule is bit-identical whether or not the (new,
+   zero) service-fault points are interrogated between messages. *)
+let test_inject_zero_rate_inert () =
+  let schedule ~interrogate seed =
+    let f = Fault.make (fast ~drop:0.3 ~duplicate:0.3 ~corrupt:0.3 ~delay:0.3 ~seed ()) in
+    let mb = Mailbox.create () in
+    for i = 0 to 49 do
+      if interrogate then begin
+        check_bool "zero heartbeat_loss" false
+          (Fault.inject f Fault.Heartbeat_loss ~node:(i mod 4));
+        check_bool "zero crash_on_respawn" false
+          (Fault.inject f Fault.Crash_on_respawn ~node:(i mod 4))
+      end;
+      Fault.send f ~link:(Fault.To_node (i mod 4)) mb (Bytes.make 16 'a')
+    done;
+    (Fault.counters f, Mailbox.totals mb)
+  in
+  check_bool "schedule unmoved by zero-rate probes" true
+    (schedule ~interrogate:false 7 = schedule ~interrogate:true 7)
+
 let test_timeout_backoff () =
   let s = fast ~seed:0 () in
   let t0 = Fault.timeout_for s ~attempt:0 in
@@ -502,6 +549,10 @@ let () =
         [
           Alcotest.test_case "deterministic schedule" `Quick
             test_injector_deterministic;
+          Alcotest.test_case "service injection deterministic" `Quick
+            test_inject_deterministic;
+          Alcotest.test_case "zero-rate service faults inert" `Quick
+            test_inject_zero_rate_inert;
           Alcotest.test_case "timeout backoff" `Quick test_timeout_backoff;
         ] );
       ( "cluster-recovery",

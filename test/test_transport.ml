@@ -59,6 +59,84 @@ let test_fabric_echo () =
       check_bool "err kind" true (kind = Transport.Err);
       Alcotest.(check string) "err payload" "moob" (Bytes.to_string reply))
 
+(* An echo serve loop shared by the teardown/respawn regressions. *)
+let echo_child ~id:_ chan =
+  let rec loop () =
+    match Transport.Socket.recv chan with
+    | kind, payload ->
+        Transport.Socket.send chan ~kind (reverse_bytes payload);
+        loop ()
+    | exception Transport.Closed -> ()
+  in
+  loop ()
+
+(* Regression (satellite of the service PR): shutdown must be
+   idempotent — calling it twice, e.g. once from a normal path and once
+   from a [~finally], used to double-close fds and double-wait pids. *)
+let test_double_shutdown () =
+  let fabric = Transport.Proc.fork ~n:2 ~child:echo_child in
+  Transport.Proc.shutdown ~grace:2.0 fabric;
+  (* Second call must be a silent no-op, never an exception. *)
+  Transport.Proc.shutdown ~grace:2.0 fabric;
+  check_int "no nodes alive" 0 (List.length (Transport.Proc.alive_ids fabric))
+
+(* Shutdown racing a child dying on its own: the child is SIGKILLed
+   (possibly mid-frame) right before teardown; shutdown must absorb the
+   EPIPE/ECHILD fallout instead of raising out of a [~finally]. *)
+let test_shutdown_with_dying_child () =
+  let fabric = Transport.Proc.fork ~n:3 ~child:echo_child in
+  (* Kill one child and immediately shut down, without waiting for the
+     EOF to surface: teardown and death race. *)
+  Transport.Proc.kill fabric 1;
+  Transport.Proc.shutdown ~grace:2.0 fabric;
+  Transport.Proc.shutdown ~grace:2.0 fabric;
+  check_int "fabric drained" 0 (List.length (Transport.Proc.alive_ids fabric))
+
+(* Kill + respawn: the replacement child runs the same closure over a
+   fresh channel and pid, and sibling channels keep working throughout. *)
+let test_kill_respawn_echo () =
+  let fabric = Transport.Proc.fork ~n:2 ~child:echo_child in
+  Fun.protect
+    ~finally:(fun () -> Transport.Proc.shutdown ~grace:2.0 fabric)
+    (fun () ->
+      let old_pid = Transport.Proc.pid fabric 0 in
+      Transport.Proc.kill fabric 0;
+      (* Observe the EOF so the node is marked dead. *)
+      let rec await_eof () =
+        match Transport.Proc.recv_any fabric ~timeout:1.0 with
+        | `Eof 0 -> ()
+        | `Eof _ | `Msg _ | `Wake -> await_eof ()
+        | `Timeout | `No_nodes -> Alcotest.fail "no EOF after SIGKILL"
+      in
+      await_eof ();
+      check_bool "node 0 dead" false (Transport.Proc.is_alive fabric 0);
+      Transport.Proc.respawn fabric 0 ~child:echo_child;
+      check_bool "node 0 alive again" true (Transport.Proc.is_alive fabric 0);
+      check_bool "fresh incarnation" true
+        (Transport.Proc.pid fabric 0 <> old_pid);
+      (* The replacement serves... *)
+      let chan0 = (Transport.Proc.node fabric 0).Transport.Proc.chan in
+      Transport.Socket.send chan0 (Bytes.of_string "abc");
+      let _, r0 = Transport.Socket.recv chan0 in
+      Alcotest.(check string) "respawned echoes" "cba" (Bytes.to_string r0);
+      (* ...and the sibling was never disturbed. *)
+      let chan1 = (Transport.Proc.node fabric 1).Transport.Proc.chan in
+      Transport.Socket.send chan1 (Bytes.of_string "xyz");
+      let _, r1 = Transport.Socket.recv chan1 in
+      Alcotest.(check string) "sibling still serves" "zyx" (Bytes.to_string r1))
+
+(* Ping/Pong kinds cross the wire like any frame. *)
+let test_ping_pong_frames () =
+  let fabric = Transport.Proc.fork ~n:1 ~child:echo_child in
+  Fun.protect
+    ~finally:(fun () -> Transport.Proc.shutdown ~grace:2.0 fabric)
+    (fun () ->
+      let chan = (Transport.Proc.node fabric 0).Transport.Proc.chan in
+      Transport.Socket.send chan ~kind:Transport.Ping (Bytes.of_string "hb");
+      let kind, payload = Transport.Socket.recv chan in
+      check_bool "ping kind preserved" true (kind = Transport.Ping);
+      Alcotest.(check string) "payload" "bh" (Bytes.to_string payload))
+
 (* ------------------------------------------------------------------ *)
 (* Cross-backend equivalence: identical results and identical payload
    accounting on the clean path.                                        *)
@@ -403,7 +481,15 @@ let () =
     [
       (* fork-dependent suites first: see the header comment *)
       ( "process-fabric",
-        [ Alcotest.test_case "echo children" `Quick test_fabric_echo ] );
+        [
+          Alcotest.test_case "echo children" `Quick test_fabric_echo;
+          Alcotest.test_case "double shutdown is idempotent" `Quick
+            test_double_shutdown;
+          Alcotest.test_case "shutdown races dying child" `Quick
+            test_shutdown_with_dying_child;
+          Alcotest.test_case "kill and respawn" `Quick test_kill_respawn_echo;
+          Alcotest.test_case "ping/pong frames" `Quick test_ping_pong_frames;
+        ] );
       ( "cross-backend",
         [
           Alcotest.test_case "clean accounting parity" `Quick
