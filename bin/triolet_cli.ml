@@ -539,7 +539,7 @@ let bench_cmd =
    on any error-severity finding or protocol violation, so CI can use
    it as a lint gate. *)
 let analyze_cmd =
-  let run nodes cores root verbose =
+  let run nodes cores root locks protocol dot_file verbose =
     setup_logs verbose;
     Triolet.Config.set_cluster
       { Cluster.nodes; cores_per_node = cores; flat = false };
@@ -567,7 +567,39 @@ let analyze_cmd =
     in
     print_endline "== plans ==";
     List.iter (fun p -> print_endline (Plan.to_string p)) plans;
-    let findings = Passes.run_all plans @ Triolet_analysis.Unsafe_scan.run ~root () in
+    let lock_findings, lock_edges =
+      if locks then Triolet_analysis.Lockcheck.run ~root ()
+      else ([], [])
+    in
+    if locks then begin
+      print_endline "== lock graph ==";
+      if lock_edges = [] then print_endline "(no nested acquisitions)"
+      else
+        List.iter
+          (fun (e : Triolet_analysis.Lockcheck.edge) ->
+            Printf.printf "%s -> %s (%s:%d%s)\n" e.from_lock e.to_lock
+              e.file e.line
+              (match e.via with Some v -> " via " ^ v | None -> ""))
+          lock_edges;
+      match dot_file with
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc
+                (Triolet_analysis.Lockcheck.dot_of_edges lock_edges));
+          Printf.printf "lock graph written to %s\n" path
+      | None -> ()
+    end;
+    let protocol_findings =
+      if protocol then Triolet_analysis.Protocol_lint.run ~root () else []
+    in
+    let findings =
+      Passes.run_all plans
+      @ Triolet_analysis.Unsafe_scan.run ~root ()
+      @ lock_findings @ protocol_findings
+    in
     print_endline "== findings ==";
     if findings = [] then print_endline "(none)"
     else List.iter (fun f -> print_endline (Passes.to_string f)) findings;
@@ -577,6 +609,10 @@ let analyze_cmd =
         Triolet_sim.Protocol_models.Wsdeque_model.check ();
         Triolet_sim.Protocol_models.Mailbox_model.check ();
       ]
+      @
+      if protocol then
+        [ Triolet_sim.Protocol_models.Heartbeat_model.check () ]
+      else []
     in
     List.iter
       (fun r -> print_endline (Triolet_sim.Modelcheck.report_to_string r))
@@ -606,14 +642,39 @@ let analyze_cmd =
          & info [ "root" ] ~docv:"DIR"
              ~doc:"Source tree root for the unsafe-access scan.")
   in
+  let locks =
+    Arg.(
+      value & flag
+      & info [ "locks" ]
+          ~doc:
+            "Run the concurrency lint: lock-order inversions, blocking \
+             calls under a lock, Condition.wait shape, and the \
+             Mutex/Atomic introduction ratchet.")
+  in
+  let protocol =
+    Arg.(
+      value & flag
+      & info [ "protocol" ]
+          ~doc:
+            "Audit the reified wire-protocol spec (completeness, drift \
+             against sent frame kinds) and exhaustively model-check the \
+             supervisor heartbeat protocol.")
+  in
+  let dot_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"With --locks, write the lock-acquisition graph as Graphviz.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Static analysis gate: audit reified kernel plans (coverage, \
           fusion, serialization, grain), scan for unchecked unsafe \
-          accesses, and exhaustively model-check the deque and mailbox \
-          protocols")
-    Term.(const run $ nodes $ cores $ root $ verbose_arg)
+          accesses, lint the runtime's lock discipline and wire-protocol \
+          spec, and exhaustively model-check the concurrency protocols")
+    Term.(const run $ nodes $ cores $ root $ locks $ protocol $ dot_file $ verbose_arg)
 
 (* Long-lived supervised service demo: keep a forked fabric warm, push
    an open-loop request stream at it, optionally kill children along

@@ -1,0 +1,39 @@
+(** Concurrency lint over the runtime's Mutex discipline: a
+    flow-sensitive walk of the [compiler-libs] parsetree of
+    [lib/runtime/] and [lib/core/] that builds the lock-acquisition
+    graph (flagging lock-order inversions as cycles), flags blocking
+    calls made while a lock is held, checks [Condition.wait] for the
+    held-mutex / wait-loop / no-other-lock shape, and ratchets raw
+    [Mutex.create]/[Atomic.make] introductions against a per-file
+    audited allowance.  Part of the [triolet analyze] lint gate. *)
+
+type edge = {
+  from_lock : string;  (** held when… *)
+  to_lock : string;  (** …this one was acquired *)
+  file : string;  (** repo-relative acquisition site *)
+  line : int;
+  via : string option;
+      (** callee whose transitive summary supplied the edge, if the
+          acquisition is not syntactically at [file:line] *)
+}
+
+val whitelist : (string * int) list
+(** Audited (file, allowed [Mutex.create] + [Atomic.make] count)
+    pairs, paths relative to the repo root.  Grow an allowance only
+    alongside a review of the new primitive's discipline. *)
+
+val scan_roots : string list
+(** Directories scanned, relative to the root ([lib/runtime],
+    [lib/core]). *)
+
+val run : ?root:string -> unit -> Passes.finding list * edge list
+(** Parse and analyze every [.ml] under {!scan_roots} below [root]
+    (default ["."]).  Returns the findings — pass ["locks"] for
+    order/blocking/wait-shape problems ([Error]), pass ["lock-ratchet"]
+    for allowance drift ([Error] over, [Info] under) — together with
+    the full lock-acquisition edge list for reporting or DOT export.
+    A file that fails to parse is a [Warning], not a crash. *)
+
+val dot_of_edges : edge list -> string
+(** Graphviz rendering of the lock-acquisition graph, edges labeled
+    with their acquisition site (and summary callee when indirect). *)

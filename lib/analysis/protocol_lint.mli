@@ -1,0 +1,17 @@
+(** Wire-protocol conformance lint: audits the reified
+    {!Triolet_runtime.Protocol.spec} for completeness (every sendable
+    frame kind handled in every receiving state, declared [Goto]
+    targets, determinism) and cross-checks the kinds the runtime
+    sources actually send against the spec.  Part of the
+    [triolet analyze] lint gate. *)
+
+val check_spec :
+  ?name:string -> Triolet_runtime.Protocol.spec -> Passes.finding list
+(** [Protocol.check] issues for an arbitrary spec as [Error] findings
+    under pass ["protocol"] — used by tests to prove a seeded
+    unhandled-frame-kind is caught. *)
+
+val run : ?root:string -> unit -> Passes.finding list
+(** Audit the live spec, then scan {!Lockcheck.scan_roots} under
+    [root] (default ["."]) for [~kind:K] frame sends whose kind no
+    role may send per the spec. *)

@@ -544,10 +544,15 @@ let run_proc_clean (topo : topology) ~workers ~scatter ~work ~result_codec ~merg
      visible to the parent except the reply bytes. *)
   let serve ~id chan =
     current_node := Some id;
+    let trk = Protocol.make_tracker Protocol.Child ~id:(string_of_int id) in
     let pool = lazy (Pool.create ~workers:topo.cores_per_node ()) in
     let rec loop () =
       match Transport.Socket.recv chan with
-      | exception Transport.Closed -> ()
+      | exception Transport.Closed -> Protocol.step trk Protocol.Eof
+      | (kind, _) as frame ->
+          Protocol.step trk (Protocol.Recv kind);
+          handle frame
+    and handle = function
       | Transport.Ping, payload ->
           (* Heartbeat: echo the payload straight back.  A child that
              can run this loop is alive by definition. *)
@@ -657,6 +662,7 @@ let run_proc_faulty (topo : topology) ~workers ~poll_interval spec ~scatter ~wor
      and both surface to the parent as EOF. *)
   let serve ~id chan =
     current_node := Some id;
+    let trk = Protocol.make_tracker Protocol.Child ~id:(string_of_int id) in
     let pool = lazy (Pool.create ~workers:topo.cores_per_node ()) in
     let crash_here phase =
       match spec.Fault.crash with
@@ -665,7 +671,11 @@ let run_proc_faulty (topo : topology) ~workers ~poll_interval spec ~scatter ~wor
     in
     let rec loop () =
       match Transport.Socket.recv chan with
-      | exception Transport.Closed -> ()
+      | exception Transport.Closed -> Protocol.step trk Protocol.Eof
+      | (kind, _) as frame ->
+          Protocol.step trk (Protocol.Recv kind);
+          handle frame
+    and handle = function
       | Transport.Ping, payload ->
           Transport.Socket.send chan ~kind:Transport.Pong payload;
           loop ()

@@ -150,10 +150,15 @@ let drain_wake t =
 
 let serve_loop ~cores_per_node ~work ~id chan =
   Cluster.note_current_node id;
+  let trk = Protocol.make_tracker Protocol.Child ~id:(string_of_int id) in
   let pool = lazy (Pool.create ~workers:cores_per_node ()) in
   let rec loop () =
     match Transport.Socket.recv chan with
-    | exception Transport.Closed -> ()
+    | exception Transport.Closed -> Protocol.step trk Protocol.Eof
+    | kind, _ as frame ->
+        Protocol.step trk (Protocol.Recv kind);
+        handle frame
+  and handle = function
     | Transport.Ping, payload ->
         Transport.Socket.send chan ~kind:Transport.Pong payload;
         loop ()
@@ -313,11 +318,14 @@ let execute t req =
               slices
         | `Msg (node, Transport.Pong, _) ->
             ignore (Supervisor.note_pong t.sup node ~now:(Clock.monotonic_ns ()))
-        | `Msg (_, Transport.Ping, _) -> ()
-        | `Msg (_, Transport.Nack, _) ->
+        | `Msg (node, Transport.Ping, _) ->
+            Supervisor.note_frame t.sup node Transport.Ping
+        | `Msg (node, Transport.Nack, _) ->
+            Supervisor.note_frame t.sup node Transport.Nack;
             Stats.record_corrupt_drop ()
             (* The owning slice re-issues via its timeout. *)
-        | `Msg (_, Transport.Err, bytes) -> (
+        | `Msg (node, Transport.Err, bytes) -> (
+            Supervisor.note_frame t.sup node Transport.Err;
             match Codec.of_bytes err_codec bytes with
             | exception _ -> Stats.record_corrupt_drop ()
             | (req', slice), msg ->
@@ -325,7 +333,8 @@ let execute t req =
                   raise
                     (Request_failed
                        (Failed (Printf.sprintf "slice %d raised: %s" slice msg))))
-        | `Msg (_, Transport.Data, bytes) -> (
+        | `Msg (node, Transport.Data, bytes) -> (
+            Supervisor.note_frame t.sup node Transport.Data;
             Stats.record_message ~bytes:(Bytes.length bytes);
             match Codec.of_bytes reply_codec bytes with
             | exception _ -> Stats.record_corrupt_drop ()
@@ -386,10 +395,14 @@ let dispatcher_loop t =
                 | Some f -> ignore (Fault.mark_crashed f node)
                 | None -> Stats.record_crash ());
                 Supervisor.note_eof t.sup node ~now:(Clock.monotonic_ns ())
-            | `Msg (_, (Transport.Data | Transport.Err | Transport.Nack), _) ->
+            | `Msg (node, ((Transport.Data | Transport.Err | Transport.Nack) as k), _)
+              ->
                 (* Stale traffic from a finished request. *)
+                Supervisor.note_frame t.sup node k;
                 Stats.record_redelivery ()
-            | `Msg (_, Transport.Ping, _) | `Timeout -> ()
+            | `Msg (node, Transport.Ping, _) ->
+                Supervisor.note_frame t.sup node Transport.Ping
+            | `Timeout -> ()
             | `No_nodes -> Unix.sleepf 0.001);
             Mutex.lock t.lock;
             await ()

@@ -49,6 +49,9 @@ type t = {
   backoff_max : float;
   faults : Fault.t option;
   children : child array;
+  trackers : Protocol.tracker array;
+      (* one Parent-side conformance tracker per child slot: every real
+         event on a child's channel replays through Protocol.spec *)
   mutable respawns : int;
   mutable heartbeat_misses : int;
 }
@@ -81,6 +84,9 @@ let create ~fabric ~serve ?(hb_interval = 0.05) ?(miss_threshold = 3)
             respawn_at = None;
             fresh_spawn = false;
           });
+    trackers =
+      Array.init (Transport.Proc.size fabric) (fun id ->
+          Protocol.make_tracker Protocol.Parent ~id:(string_of_int id));
     respawns = 0;
     heartbeat_misses = 0;
   }
@@ -89,6 +95,12 @@ let respawns t = t.respawns
 let heartbeat_misses t = t.heartbeat_misses
 let live_ids t = Transport.Proc.alive_ids t.fabric
 let alive t i = Transport.Proc.is_alive t.fabric i
+let protocol_state t i = Protocol.tracker_state t.trackers.(i)
+
+(** A non-heartbeat frame ([Data]/[Err]/[Nack]) arrived from node [i]:
+    the owner reports it here so the conformance tracker sees the same
+    event stream the dispatcher does. *)
+let note_frame t i kind = Protocol.step t.trackers.(i) (Protocol.Recv kind)
 
 (** A pong arrived from node [i].  Subject to the seeded
     [Heartbeat_loss] injection: a dropped pong leaves the miss counter
@@ -105,6 +117,7 @@ let note_pong t i ~now =
       ~attrs:[ ("node", string_of_int i) ]
       ()
   else begin
+    Protocol.step t.trackers.(i) (Protocol.Recv Protocol.Pong);
     let c = t.children.(i) in
     c.last_pong <- now;
     c.outstanding <- 0;
@@ -121,6 +134,7 @@ let note_pong t i ~now =
     here.  Schedules the replacement fork after the node's current
     backoff and escalates the backoff for the next time. *)
 let note_eof t i ~now =
+  Protocol.step t.trackers.(i) Protocol.Eof;
   let c = t.children.(i) in
   if c.respawn_at = None then begin
     Obs.instant ~name:"service.child.death"
@@ -147,6 +161,7 @@ let do_respawn t i =
   let child ~id chan =
     if crash_young then Transport.Socket.close chan else serve ~id chan
   in
+  Protocol.step t.trackers.(i) Protocol.Backoff_elapsed;
   Transport.Proc.respawn t.fabric i ~child;
   t.respawns <- t.respawns + 1;
   Stats.record_respawn ();
@@ -171,6 +186,7 @@ let tick t ~now =
       if Transport.Proc.is_alive t.fabric c.id then begin
         if c.outstanding >= t.miss_threshold then begin
           (* Silent death (or a hung child): force the EOF. *)
+          Protocol.step t.trackers.(c.id) Protocol.Miss_limit;
           t.heartbeat_misses <- t.heartbeat_misses + 1;
           Stats.record_heartbeat_miss ();
           Obs.instant ~name:"service.heartbeat.miss"

@@ -1,0 +1,78 @@
+(** Child supervision for the long-lived service fabric.
+
+    Owns the per-child health state machine over a {!Transport.Proc}
+    fabric: periodic [Ping] heartbeats, missed-heartbeat death verdicts
+    (realized as SIGKILL so every death funnels through the one EOF
+    path), and respawn of dead children with capped exponential backoff
+    that resets once a replacement proves itself with a pong.
+
+    The supervisor does no I/O multiplexing of its own.  Its owner (the
+    service dispatcher) runs the [select] loop, reports pongs, frames
+    and EOFs in, and calls {!tick} from its idle edge; {e all} calls
+    must come from that single owner thread.  Each child slot carries a
+    [Protocol.Parent] conformance tracker: every reported event is also
+    replayed through {!Protocol.spec}, so a dispatcher that drifts from
+    the reified protocol shows up in [Protocol.violations] (and raises
+    in debug mode). *)
+
+type t
+
+val create :
+  fabric:Transport.Proc.t ->
+  serve:(id:int -> Transport.Socket.t -> unit) ->
+  ?hb_interval:float ->
+  ?miss_threshold:int ->
+  ?backoff_base:float ->
+  ?backoff_max:float ->
+  ?faults:Fault.t ->
+  unit ->
+  t
+(** [create ~fabric ~serve ()] supervises every node of [fabric];
+    [serve] is the closure a respawned child runs (the same one the
+    original fork ran).  [hb_interval] seconds between pings (default
+    0.05); [miss_threshold] unanswered pings are a death verdict
+    (default 3); respawn backoff starts at [backoff_base] (default
+    0.01 s) and doubles per young death up to [backoff_max] (default
+    1.0 s).  [faults] subjects pong delivery and respawn to the seeded
+    chaos plan.  Raises [Invalid_argument] on nonsensical tunables. *)
+
+(** {1 Counters and views} *)
+
+val respawns : t -> int
+(** Children replaced so far. *)
+
+val heartbeat_misses : t -> int
+(** Death verdicts issued for heartbeat silence. *)
+
+val live_ids : t -> int list
+val alive : t -> int -> bool
+
+val protocol_state : t -> int -> string
+(** Current {!Protocol.spec} parent-side state of node [i]'s tracker
+    (["live"] or ["backoff"]). *)
+
+(** {1 Event reports from the owner} *)
+
+val note_pong : t -> int -> now:int -> bool
+(** A pong arrived from node [i] ([now] in monotonic ns).  Subject to
+    seeded [Heartbeat_loss] injection; returns whether the pong was
+    accepted. *)
+
+val note_eof : t -> int -> now:int -> unit
+(** Node [i]'s channel hit EOF — every kind of death funnels through
+    here.  Schedules the respawn after the node's current backoff. *)
+
+val note_frame : t -> int -> Protocol.kind -> unit
+(** A non-heartbeat frame arrived from node [i]; conformance tracking
+    only, no health-state effect. *)
+
+(** {1 Driving} *)
+
+val tick : t -> now:int -> unit
+(** Send due pings, convert miss-threshold silences into SIGKILLs, and
+    perform respawns whose backoff has elapsed.  Call from the owner's
+    idle edge. *)
+
+val next_event_in : t -> now:int -> float
+(** Seconds until the next scheduled ping or respawn; the owner caps
+    its select timeout with this. *)

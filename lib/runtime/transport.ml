@@ -43,23 +43,18 @@ exception Closed
     pings its children, a live child echoes the payload back as a pong,
     and a silence longer than the miss threshold is a death verdict
     even when the socket never delivers an EOF (a hung child keeps its
-    end open forever). *)
-type kind = Data | Err | Nack | Ping | Pong
+    end open forever).
 
-let kind_to_byte = function
-  | Data -> '\000'
-  | Err -> '\001'
-  | Nack -> '\002'
-  | Ping -> '\003'
-  | Pong -> '\004'
+    The type, its byte tags, and the frame header codec all live in
+    {!Protocol} — the reified spec the analyzer and model checker also
+    consume; this is a re-export so transport users keep a single
+    constructor namespace.  A malformed header (unknown kind byte,
+    absurd length field) raises [Protocol.Bad_frame], not
+    [Invalid_argument]. *)
+type kind = Protocol.kind = Data | Err | Nack | Ping | Pong
 
-let kind_of_byte = function
-  | '\000' -> Data
-  | '\001' -> Err
-  | '\002' -> Nack
-  | '\003' -> Ping
-  | '\004' -> Pong
-  | c -> invalid_arg (Printf.sprintf "Transport: bad frame kind %d" (Char.code c))
+let kind_to_byte = Protocol.kind_to_byte
+let kind_of_byte = Protocol.kind_of_byte
 
 (** The transport interface: length-prefixed byte frames over a
     connected pair of endpoints. *)
@@ -176,7 +171,7 @@ module Socket = struct
       [ a; b ];
     (of_fd a, of_fd b)
 
-  let header_len = 5 (* 4-byte big-endian payload length + 1 kind byte *)
+  let header_len = Protocol.header_len
 
   let write_all t buf =
     let len = Bytes.length buf in
@@ -208,20 +203,13 @@ module Socket = struct
 
   let send t ?(kind = Data) payload =
     if t.closed then raise Closed;
-    let len = Bytes.length payload in
-    let frame = Bytes.create (header_len + len) in
-    Bytes.set_int32_be frame 0 (Int32.of_int len);
-    Bytes.set frame 4 (kind_to_byte kind);
-    Bytes.blit payload 0 frame header_len len;
-    write_all t frame
+    write_all t (Protocol.encode_frame ~kind payload)
 
   let try_recv_header t =
     match read_exactly t header_len with
     | None -> None
     | Some hdr ->
-        let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-        if len < 0 then invalid_arg "Transport.Socket: negative frame length";
-        let kind = kind_of_byte (Bytes.get hdr 4) in
+        let len, kind = Protocol.decode_header hdr 0 in
         let payload =
           if len = 0 then Bytes.empty
           else

@@ -5,7 +5,7 @@
     atomic step of one worker), a safety invariant checked at *every*
     reachable state, and a terminal-state check (deadlock / liveness at
     the bound).  [explore] enumerates every reachable state of every
-    scenario by memoized depth-first search — interleavings that
+    scenario by memoized breadth-first search — interleavings that
     converge to the same state are explored once, a partial-order
     reduction by state canonicalization — and reports the exact number
     of distinct interleavings via path counting over the acyclic state
@@ -13,8 +13,11 @@
     is a DAG).
 
     The first invariant or terminal violation aborts exploration and is
-    reported with its scenario index and the transition trace that
-    reached it. *)
+    reported with its scenario index and a {e minimal} witness: states
+    are expanded in breadth-first order and each records the edge that
+    first discovered it, so the reported trace is a shortest event
+    sequence from the initial state to the bad one — the
+    counterexample a human actually wants to read. *)
 
 module type MODEL = sig
   type state
@@ -58,27 +61,46 @@ let explore (type s) (module M : MODEL with type state = s) : report =
   (try
      List.iteri
        (fun si init ->
+         (* BFS with parent pointers: the first edge to discover a
+            state is on a shortest path to it, so reconstructing
+            through [parent] yields a minimal witness trace. *)
          let visited : (s, unit) Hashtbl.t = Hashtbl.create 256 in
-         let rec visit st trace =
-           if not (Hashtbl.mem visited st) then begin
-             Hashtbl.add visited st ();
-             (match M.invariant st with
-             | Some message ->
-                 raise
-                   (Found { scenario = si; message; trace = List.rev trace })
-             | None -> ());
-             match M.transitions st with
-             | [] -> (
-                 match M.terminal_ok st with
-                 | Some message ->
-                     raise
-                       (Found
-                          { scenario = si; message; trace = List.rev trace })
-                 | None -> ())
-             | ts -> List.iter (fun (lbl, st') -> visit st' (lbl :: trace)) ts
-           end
+         let parent : (s, (s * string) option) Hashtbl.t =
+           Hashtbl.create 256
          in
-         visit init [];
+         let trace_to st =
+           let rec go st acc =
+             match Hashtbl.find parent st with
+             | None -> acc
+             | Some (p, lbl) -> go p (lbl :: acc)
+           in
+           go st []
+         in
+         let fail st message = raise (Found { scenario = si; message; trace = trace_to st }) in
+         let q = Queue.create () in
+         Hashtbl.add visited init ();
+         Hashtbl.add parent init None;
+         Queue.push init q;
+         while not (Queue.is_empty q) do
+           let st = Queue.pop q in
+           (match M.invariant st with
+           | Some message -> fail st message
+           | None -> ());
+           match M.transitions st with
+           | [] -> (
+               match M.terminal_ok st with
+               | Some message -> fail st message
+               | None -> ())
+           | ts ->
+               List.iter
+                 (fun (lbl, st') ->
+                   if not (Hashtbl.mem visited st') then begin
+                     Hashtbl.add visited st' ();
+                     Hashtbl.add parent st' (Some (st, lbl));
+                     Queue.push st' q
+                   end)
+                 ts
+         done;
          (* Exact interleaving count: path-count DP over the DAG of
             states (memoized on canonical states, so shared suffixes
             are counted once but multiplied by their multiplicity). *)

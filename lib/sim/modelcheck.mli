@@ -1,9 +1,11 @@
 (** Bounded exhaustive interleaving explorer for small concurrent
-    protocol models.  Memoized DFS over canonical states (a light
+    protocol models.  Memoized BFS over canonical states (a light
     partial-order reduction: interleavings converging to the same state
     are explored once), invariant checked at every reachable state,
     exact interleaving counts by path-counting over the acyclic state
-    graph. *)
+    graph.  On violation the reported trace is a {e minimal} witness:
+    a shortest event sequence from the initial state to the bad
+    state. *)
 
 module type MODEL = sig
   type state
@@ -28,7 +30,9 @@ end
 type violation = {
   scenario : int;  (** index into [scenarios] *)
   message : string;
-  trace : string list;  (** transition labels from the initial state *)
+  trace : string list;
+      (** minimal witness: transition labels of a shortest path from
+          the initial state to the violating state *)
 }
 
 type report = {

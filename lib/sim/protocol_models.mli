@@ -1,6 +1,7 @@
 (** Operational models of the runtime's concurrency protocols — the
-    work-stealing deque's owner/thief discipline and the mailbox's
-    send/recv/close discipline — exhaustively checked with
+    work-stealing deque's owner/thief discipline, the mailbox's
+    send/recv/close discipline, and the service fabric's supervisor
+    heartbeat / request lifecycle — exhaustively checked with
     {!Modelcheck}.  The [bug] parameters inject classic races so the
     test suite can prove the checker catches them. *)
 
@@ -59,4 +60,55 @@ module Mailbox_model : sig
       recv/recv_timeout operations, under every interleaving.
       Invariants: no accepted message lost or duplicated; a terminal
       state with receiver operations pending is a wakeup failure. *)
+end
+
+module Heartbeat_model : sig
+  type bug =
+    | Forget_inflight
+        (** EOF does not re-issue the dead child's in-flight slices →
+            a slice is lost *)
+    | No_stale_filter
+        (** a reply for an already-completed slice is applied again →
+            a slice double-completes *)
+
+  type slice =
+    | Pending of int  (** not assigned; attempts consumed so far *)
+    | Inflight of int * int  (** (node, attempt) of the newest send *)
+    | Done of int  (** completions recorded — must stay 1 *)
+
+  type child = {
+    alive : bool;
+    cstate : string;  (** parent-side [Protocol.spec] state *)
+    misses : int;
+    tasks : (int * int) list;
+    outbox : (int * int) list;
+  }
+
+  type state = {
+    slices : slice list;
+    children : child list;
+    kills : int;
+    losses : int;
+    spurious : int;
+    bad : string option;
+  }
+
+  val check :
+    ?bug:bug ->
+    ?kills:int ->
+    ?losses:int ->
+    ?spurious:int ->
+    ?n_slices:int ->
+    unit ->
+    Modelcheck.report
+  (** Exhaustively explore [n_slices] slices (default 2) over two
+      supervised children under a budget of [kills] direct SIGKILLs
+      (default 1), [losses] lost pongs (default 2, with miss threshold
+      2 — enough for one miss-verdict kill), and [spurious] timeout
+      re-issues (default 1).  Every protocol decision — frame
+      handling per parent state, EOF, miss verdict, respawn — is
+      looked up in [Protocol.spec] via [Protocol.action_for], so the
+      model cannot drift from the running dispatcher's rule table.
+      Invariants: no slice double-completes; at the bound every slice
+      completed exactly once and every child is back live. *)
 end

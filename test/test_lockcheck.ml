@@ -1,0 +1,279 @@
+(* The concurrency lint, exercised against seeded trees: a lock-order
+   inversion, blocking under a lock, Condition.wait shape, and the
+   Mutex/Atomic introduction ratchet. *)
+
+module Lockcheck = Triolet_analysis.Lockcheck
+module Passes = Triolet_analysis.Passes
+
+let check_bool = Alcotest.(check bool)
+
+(* Build a throwaway source tree under a fresh temp root with the
+   layout the scanner expects (lib/runtime, lib/core). *)
+let with_tree files f =
+  let root = Filename.temp_file "triolet_lockcheck" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  List.iter
+    (fun d -> Unix.mkdir (Filename.concat root d) 0o755)
+    [ "lib"; "lib/runtime"; "lib/core" ];
+  let written =
+    List.map
+      (fun (rel, contents) ->
+        let path = Filename.concat root rel in
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        path)
+      files
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove written;
+      List.iter
+        (fun d -> Unix.rmdir (Filename.concat root d))
+        [ "lib/runtime"; "lib/core"; "lib" ];
+      Unix.rmdir root)
+    (fun () -> f root)
+
+let errors_of pass findings =
+  List.filter
+    (fun (f : Passes.finding) -> f.pass = pass && f.severity = Passes.Error)
+    findings
+
+(* --- lock-order inversion ----------------------------------------- *)
+
+let test_inversion_detected () =
+  with_tree
+    [
+      ( "lib/runtime/alpha.ml",
+        "let m = Mutex.create ()\n\
+         let f () =\n\
+        \  Mutex.lock m;\n\
+        \  Mutex.lock Beta.m;\n\
+        \  Mutex.unlock Beta.m;\n\
+        \  Mutex.unlock m\n" );
+      ( "lib/runtime/beta.ml",
+        "let m = Mutex.create ()\n\
+         let g () =\n\
+        \  Mutex.lock m;\n\
+        \  Mutex.lock Alpha.m;\n\
+        \  Mutex.unlock Alpha.m;\n\
+        \  Mutex.unlock m\n" );
+    ]
+    (fun root ->
+      let findings, edges = Lockcheck.run ~root () in
+      check_bool "both edges found" true (List.length edges >= 2);
+      let inversions =
+        List.filter
+          (fun (f : Passes.finding) ->
+            f.severity = Passes.Error
+            && f.pass = "locks"
+            && String.length f.message >= 20
+            && String.sub f.message 0 20 = "lock-order inversion")
+          findings
+      in
+      check_bool "inversion reported" true (inversions <> []);
+      (* The DOT artifact renders both directions. *)
+      let dot = Lockcheck.dot_of_edges edges in
+      check_bool "dot has edge" true
+        (String.length dot > 0
+        && String.index_opt dot '>' <> None))
+
+let test_ordered_nesting_is_clean () =
+  with_tree
+    [
+      ( "lib/runtime/alpha.ml",
+        "let m = Mutex.create ()\n\
+         let f () =\n\
+        \  Mutex.lock m;\n\
+        \  Mutex.lock Beta.m;\n\
+        \  Mutex.unlock Beta.m;\n\
+        \  Mutex.unlock m\n" );
+      ("lib/runtime/beta.ml", "let m = Mutex.create ()\n");
+    ]
+    (fun root ->
+      let findings, edges = Lockcheck.run ~root () in
+      check_bool "one edge" true (List.length edges = 1);
+      check_bool "no lock errors" true (errors_of "locks" findings = []))
+
+(* An inversion only visible through a callee: g locks B.m via a helper
+   that locks A.m transitively. *)
+let test_transitive_inversion () =
+  with_tree
+    [
+      ( "lib/runtime/alpha.ml",
+        "let m = Mutex.create ()\n\
+         let with_m f = Mutex.lock m; let r = f () in Mutex.unlock m; r\n\
+         let f () =\n\
+        \  Mutex.lock m;\n\
+        \  Mutex.lock Beta.m;\n\
+        \  Mutex.unlock Beta.m;\n\
+        \  Mutex.unlock m\n" );
+      ( "lib/runtime/beta.ml",
+        "let m = Mutex.create ()\n\
+         let g () =\n\
+        \  Mutex.lock m;\n\
+        \  Alpha.with_m (fun () -> ());\n\
+        \  Mutex.unlock m\n" );
+    ]
+    (fun root ->
+      let findings, edges = Lockcheck.run ~root () in
+      check_bool "summary edge present" true
+        (List.exists
+           (fun (e : Lockcheck.edge) ->
+             e.from_lock = "Beta.m" && e.to_lock = "Alpha.m"
+             && e.via <> None)
+           edges);
+      check_bool "inversion reported" true (errors_of "locks" findings <> []))
+
+(* --- blocking under a lock ---------------------------------------- *)
+
+let test_blocking_under_lock () =
+  with_tree
+    [
+      ( "lib/runtime/gamma.ml",
+        "let m = Mutex.create ()\n\
+         let f () =\n\
+        \  Mutex.lock m;\n\
+        \  ignore (Unix.select [] [] [] 1.0);\n\
+        \  Mutex.unlock m\n" );
+    ]
+    (fun root ->
+      let findings, _ = Lockcheck.run ~root () in
+      check_bool "blocking call flagged" true
+        (List.exists
+           (fun (f : Passes.finding) ->
+             f.pass = "locks" && f.severity = Passes.Error
+             && f.plan = "lib/runtime/gamma.ml:4")
+           findings))
+
+let test_unlock_before_blocking_is_clean () =
+  with_tree
+    [
+      ( "lib/runtime/gamma.ml",
+        "let m = Mutex.create ()\n\
+         let f () =\n\
+        \  Mutex.lock m;\n\
+        \  Mutex.unlock m;\n\
+        \  ignore (Unix.select [] [] [] 1.0)\n" );
+    ]
+    (fun root ->
+      let findings, _ = Lockcheck.run ~root () in
+      check_bool "clean" true (errors_of "locks" findings = []))
+
+(* --- Condition.wait shape ----------------------------------------- *)
+
+let test_wait_loop_accepted () =
+  with_tree
+    [
+      ( "lib/runtime/delta.ml",
+        "let m = Mutex.create ()\n\
+         let c = Condition.create ()\n\
+         let ready = ref false\n\
+         let wait () =\n\
+        \  Mutex.lock m;\n\
+        \  while not !ready do Condition.wait c m done;\n\
+        \  Mutex.unlock m\n" );
+    ]
+    (fun root ->
+      let findings, _ = Lockcheck.run ~root () in
+      check_bool "wait-loop idiom is clean" true
+        (errors_of "locks" findings = []))
+
+let test_naked_wait_flagged () =
+  with_tree
+    [
+      ( "lib/runtime/delta.ml",
+        "let m = Mutex.create ()\n\
+         let c = Condition.create ()\n\
+         let wait () =\n\
+        \  Mutex.lock m;\n\
+        \  Condition.wait c m;\n\
+        \  Mutex.unlock m\n" );
+    ]
+    (fun root ->
+      let findings, _ = Lockcheck.run ~root () in
+      check_bool "wait outside loop flagged" true
+        (errors_of "locks" findings <> []))
+
+let test_wait_without_mutex_flagged () =
+  with_tree
+    [
+      ( "lib/runtime/delta.ml",
+        "let m = Mutex.create ()\n\
+         let c = Condition.create ()\n\
+         let wait () =\n\
+        \  while true do Condition.wait c m done\n" );
+    ]
+    (fun root ->
+      let findings, _ = Lockcheck.run ~root () in
+      check_bool "wait without held mutex flagged" true
+        (errors_of "locks" findings <> []))
+
+(* --- the ratchet --------------------------------------------------- *)
+
+let test_ratchet_over_allowance () =
+  with_tree
+    [
+      ( "lib/runtime/epsilon.ml",
+        "let a = Mutex.create ()\nlet b = Atomic.make 0\n" );
+    ]
+    (fun root ->
+      let findings, _ = Lockcheck.run ~root () in
+      check_bool "unaudited introductions are errors" true
+        (List.exists
+           (fun (f : Passes.finding) ->
+             f.pass = "lock-ratchet" && f.severity = Passes.Error
+             && f.plan = "lib/runtime/epsilon.ml")
+           findings))
+
+let test_ratchet_under_allowance () =
+  (* A whitelisted file (pool.ml: 7 audited sites) with fewer sites
+     than its allowance asks for the allowance to be lowered. *)
+  with_tree
+    [ ("lib/runtime/pool.ml", "let a = Mutex.create ()\n") ]
+    (fun root ->
+      let findings, _ = Lockcheck.run ~root () in
+      check_bool "stale allowance is an info" true
+        (List.exists
+           (fun (f : Passes.finding) ->
+             f.pass = "lock-ratchet" && f.severity = Passes.Info
+             && f.plan = "lib/runtime/pool.ml")
+           findings))
+
+let () =
+  Alcotest.run "lockcheck"
+    [
+      ( "lock order",
+        [
+          Alcotest.test_case "inversion detected" `Quick
+            test_inversion_detected;
+          Alcotest.test_case "ordered nesting clean" `Quick
+            test_ordered_nesting_is_clean;
+          Alcotest.test_case "transitive inversion via summary" `Quick
+            test_transitive_inversion;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "blocking under lock flagged" `Quick
+            test_blocking_under_lock;
+          Alcotest.test_case "unlock before blocking clean" `Quick
+            test_unlock_before_blocking_is_clean;
+        ] );
+      ( "condition wait",
+        [
+          Alcotest.test_case "wait-loop accepted" `Quick
+            test_wait_loop_accepted;
+          Alcotest.test_case "naked wait flagged" `Quick
+            test_naked_wait_flagged;
+          Alcotest.test_case "wait without mutex flagged" `Quick
+            test_wait_without_mutex_flagged;
+        ] );
+      ( "ratchet",
+        [
+          Alcotest.test_case "over allowance is error" `Quick
+            test_ratchet_over_allowance;
+          Alcotest.test_case "under allowance is info" `Quick
+            test_ratchet_under_allowance;
+        ] );
+    ]
