@@ -736,12 +736,99 @@ let run_service_family ~quick =
           (List.length (Service.live_nodes t)))
   end
 
+(* ------------------------------------------------------------------ *)
+(* Darray: persistent distributed arrays — per-round scatter bytes and
+   latency, cold (first round ships every segment) vs warm (unchanged
+   segments ship as key-only reuses).  Like the service family this
+   forks per-node children, so it must run before any domain spawns;
+   it is listed right after "service" and skips itself loudly
+   otherwise. *)
+
+let run_darray_family ~quick =
+  if Pool.domains_ever_spawned () then
+    print_endline
+      "(skipping family 'darray': the resident fabric forks one process \
+       per node, which OCaml forbids once a worker domain has been \
+       spawned; run with --filter darray to measure it)"
+  else begin
+    let module D = Kern.Dataset in
+    let module Cluster = Triolet_runtime.Cluster in
+    let ctx =
+      Exec.make ~nodes:4 ~cores_per_node:1 ~backend:Cluster.Process ()
+    in
+    let rounds = if quick then 3 else 8 in
+    (* Iterated sgemm: A resident and much larger than the per-round
+       B, the geometry where residency pays. *)
+    let m, k, n = if quick then (96, 96, 6) else (256, 256, 6) in
+    let a, b = D.sgemm_matrices ~seed:11 ~m ~k ~n in
+    let r = Kern.Sgemm.Resident.create ~ctx a in
+    let cold_bytes, cold_ns, warm_bytes, warm_ns =
+      Fun.protect
+        ~finally:(fun () -> Kern.Sgemm.Resident.close r)
+        (fun () ->
+          let t0 = Clock.monotonic_ns () in
+          let _, rep = Kern.Sgemm.Resident.multiply r b in
+          let cold_ns = float_of_int (Clock.monotonic_ns () - t0) in
+          let bytes = ref 0 in
+          let t1 = Clock.monotonic_ns () in
+          for _ = 1 to rounds do
+            let _, rep = Kern.Sgemm.Resident.multiply r b in
+            bytes := !bytes + rep.Cluster.scatter_bytes
+          done;
+          let warm_ns =
+            float_of_int (Clock.monotonic_ns () - t1) /. float_of_int rounds
+          in
+          ( float_of_int rep.Cluster.scatter_bytes,
+            cold_ns,
+            float_of_int !bytes /. float_of_int rounds,
+            warm_ns ))
+    in
+    Printf.printf
+      "  %-28s cold %10.0f B %10.1f ns   warm %8.0f B %10.1f ns\n"
+      "darray/sgemm" cold_bytes cold_ns warm_bytes warm_ns;
+    add_row "darray/sgemm/cold-bytes" cold_bytes;
+    add_row "darray/sgemm/warm-bytes" warm_bytes;
+    add_row "darray/sgemm/byte-ratio" (warm_bytes /. cold_bytes);
+    add_row "darray/sgemm/cold-ns" cold_ns;
+    add_row "darray/sgemm/warm-ns" warm_ns;
+    (* cutcp halo: one atom moves per round; only the touched slab and
+       changed halos re-ship. *)
+    let atoms = if quick then 60 else 160 in
+    let c =
+      D.cutcp ~seed:12 ~atoms ~nx:12 ~ny:12 ~nz:32 ~spacing:0.5 ~cutoff:1.5
+    in
+    let u = Kern.Cutcp.Resident.create ~ctx c in
+    Fun.protect
+      ~finally:(fun () -> Kern.Cutcp.Resident.close u)
+      (fun () ->
+        let _, rep_cold = Kern.Cutcp.Resident.potential u in
+        let bytes = ref 0 in
+        for i = 1 to rounds do
+          Kern.Cutcp.Resident.displace u ~atom:(i mod atoms) ~dx:0.02
+            ~dy:0.0 ~dz:0.03;
+          ignore (Kern.Cutcp.Resident.resync u);
+          let _, rep = Kern.Cutcp.Resident.potential u in
+          bytes := !bytes + rep.Cluster.scatter_bytes
+        done;
+        let halo_warm = float_of_int !bytes /. float_of_int rounds in
+        let halo_cold = float_of_int rep_cold.Cluster.scatter_bytes in
+        Printf.printf "  %-28s cold %10.0f B   moving-atom warm %8.0f B\n"
+          "darray/cutcp-halo" halo_cold halo_warm;
+        add_row "darray/cutcp-halo/cold-bytes" halo_cold;
+        add_row "darray/cutcp-halo/warm-bytes" halo_warm;
+        add_row "darray/cutcp-halo/byte-ratio" (halo_warm /. halo_cold))
+  end
+
 let families : (string * string * (quick:bool -> unit)) list =
   [
     ( "service",
       "long-lived service: open-loop arrival sweep, tail latency and \
        overload shedding",
       fun ~quick -> run_service_family ~quick );
+    ( "darray",
+      "persistent distributed arrays: cold vs warm per-round scatter \
+       bytes (resident segments, halo exchange)",
+      fun ~quick -> run_darray_family ~quick );
     ( "dot",
       "loop fusion: dot product (paper section 2)",
       fun ~quick:_ -> run_group bench_dot );

@@ -611,7 +611,10 @@ let analyze_cmd =
       ]
       @
       if protocol then
-        [ Triolet_sim.Protocol_models.Heartbeat_model.check () ]
+        [
+          Triolet_sim.Protocol_models.Heartbeat_model.check ();
+          Triolet_sim.Protocol_models.Segment_model.check ();
+        ]
       else []
     in
     List.iter

@@ -24,6 +24,9 @@ let kind_constructors =
     ("Nack", Protocol.Nack);
     ("Ping", Protocol.Ping);
     ("Pong", Protocol.Pong);
+    ("Seg_put", Protocol.Seg_put);
+    ("Seg_reuse", Protocol.Seg_reuse);
+    ("Seg_free", Protocol.Seg_free);
   ]
 
 (* Findings for an arbitrary spec — exposed so tests can seed a spec

@@ -39,7 +39,9 @@ let whitelist =
     ("lib/core/matrix.ml", 13);
     ("lib/core/stepper.ml", 4);
     ("lib/kernels/mriq.ml", 13);
-    ("lib/kernels/sgemm.ml", 5);
+    (* sgemm's 3 extra sites are Resident.work's child-side block
+       product: same bounds-by-enclosing-for-loop shape as run_c. *)
+    ("lib/kernels/sgemm.ml", 8);
     ("bench/main.ml", 7);
   ]
 

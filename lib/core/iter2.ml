@@ -208,6 +208,26 @@ let rows (m : Matrix.t) : Matrix.view Iter.t =
   in
   build m
 
+(** Per-node row-block segments of a matrix, for residency: block the
+    rows one-per-cluster-worker (same decomposition {!rows} ships under
+    [distributed_reduce]) and materialize each block in the same
+    header-plus-data shape [rows]'s [payload_of] uses, so a resident
+    child decodes segments with the exact code that decodes shipped
+    slices. *)
+let row_segments ?ctx (m : Matrix.t) =
+  let it = rows m in
+  Skeletons.resident_segments ?ctx ~len:(Matrix.rows m)
+    ~payload_of:(fun off n -> it.Iter.payload_of off n)
+    ()
+
+(** Decode one {!row_segments} segment back to a matrix (child-side). *)
+let matrix_of_segment (p : Payload.t) =
+  match p with
+  | [ hdr; fl ] ->
+      let hdr = Payload.ints_exn hdr in
+      Matrix.of_floatarray ~rows:hdr.(0) ~cols:hdr.(1) (Payload.floats_exn fl)
+  | _ -> invalid_arg "Iter2.matrix_of_segment: bad segment payload"
+
 (** Parallel matrix transposition through the 2-D iterator interface:
     [[A[x,y] for (y,x) in arrayRange((0,0),(h,w))]] from the paper. *)
 let transpose_iter m =

@@ -59,6 +59,16 @@ val rows : Matrix.t -> Matrix.view Iter.t
 (** The paper's [rows]: a matrix as a 1-D iterator over row views.  Rows
     are contiguous, so a slice's payload is one block copy. *)
 
+val row_segments :
+  ?ctx:Exec.t -> Matrix.t -> Triolet_base.Payload.t array
+(** Per-node row-block segments of a matrix for residency
+    ({!Skeletons.resident_segments} over {!rows}'s slice payloads):
+    one segment per cluster worker, in the shape
+    {!matrix_of_segment} decodes. *)
+
+val matrix_of_segment : Triolet_base.Payload.t -> Matrix.t
+(** Decode one {!row_segments} segment back to a matrix (child-side). *)
+
 val transpose_iter : Matrix.t -> float t
 (** Transposition as a 2-D iterator:
     [[A[x,y] for (y,x) in arrayRange((0,0),(h,w))]]. *)

@@ -16,6 +16,7 @@
 module Pool = Triolet_runtime.Pool
 module Cluster = Triolet_runtime.Cluster
 module Partition = Triolet_runtime.Partition
+module Darray = Triolet_runtime.Darray
 module Payload = Triolet_base.Payload
 module Codec = Triolet_base.Codec
 module Obs = Triolet_obs.Obs
@@ -156,3 +157,44 @@ let distributed_map_blocks ?ctx ~blocks ~payload_of ~node_work ~result_codec ()
       let out = Array.make nblocks None in
       List.iter (fun (node, r) -> out.(node) <- Some r) !results;
       Array.map Option.get out)
+
+(* ------------------------------------------------------------------ *)
+(* Resident (persistent) distributed state                             *)
+
+(** Warm resident fabric for iterative skeletons, geometry and backend
+    from the context like every other skeleton here.  Under the
+    [Process] backend this forks the per-node children, so call it
+    before any domain is spawned (in particular before [Pool.default]
+    is first touched). *)
+let resident_session ?ctx ?hb_interval ?miss_threshold ~work () =
+  let ctx = Exec.resolve ctx in
+  Obs.span ~name:"skel.resident_session" (fun () ->
+      Darray.create_session
+        ~topology:(Exec.topology ctx)
+        ?hb_interval ?miss_threshold ~work ())
+
+(** Block boundaries {!resident_segments} uses: one block per resident
+    node (a Darray session holds one segment table per topology node,
+    regardless of cores), in {!Partition.blocks} order so segment [i]
+    is owned by node [i]. *)
+let resident_blocks ?ctx ~len () =
+  let ctx = Exec.resolve ctx in
+  let nodes = (Exec.topology ctx).Cluster.nodes in
+  Partition.blocks ~parts:nodes len
+
+(** Partition [len] outer iterations one block per resident node and
+    materialize each block's payload, yielding the segments of a
+    {!Darray.create}: with one segment per node, segment [i] lands on
+    node [i] and replies merge back in segment order. *)
+let resident_segments ?ctx ~len ~payload_of () =
+  Array.map
+    (fun (off, n) -> payload_of off n)
+    (resident_blocks ?ctx ~len ())
+
+(** One round over a resident view: ship residency deltas and the
+    per-node argument, gather and merge replies in node order.  The
+    iterative kernels call this once per outer iteration; after the
+    first round only changed segments re-ship. *)
+let resident_round view ~arg ~merge ~init =
+  Obs.span ~name:"skel.resident_round" (fun () ->
+      Darray.run view ~arg ~merge ~init)

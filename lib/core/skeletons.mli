@@ -70,3 +70,45 @@ val distributed_map_blocks :
   unit ->
   'r array
 (** One worker per block; results returned in block order. *)
+
+(** {1 Resident (persistent) distributed state}
+
+    Iterative skeletons that re-visit the same data every round keep it
+    resident in warm per-node children via {!Triolet_runtime.Darray}
+    instead of re-shipping it; these wrappers derive the session and
+    segment geometry from the execution context so kernels stay on the
+    [?ctx] API. *)
+
+val resident_session :
+  ?ctx:Exec.t ->
+  ?hb_interval:float ->
+  ?miss_threshold:int ->
+  work:Triolet_runtime.Darray.work ->
+  unit ->
+  Triolet_runtime.Darray.session
+(** Warm resident fabric with topology from the context.  Under the
+    [Process] backend this forks the node children — create it before
+    any domain is spawned. *)
+
+val resident_blocks : ?ctx:Exec.t -> len:int -> unit -> (int * int) array
+(** The [(offset, length)] blocks {!resident_segments} materializes:
+    one per resident node, in owner order. *)
+
+val resident_segments :
+  ?ctx:Exec.t ->
+  len:int ->
+  payload_of:(int -> int -> Triolet_base.Payload.t) ->
+  unit ->
+  Triolet_base.Payload.t array
+(** Block [len] one-per-resident-node and materialize each block's
+    payload as a {!Triolet_runtime.Darray.create} segment: segment [i]
+    is owned by node [i], so replies merge back in segment order. *)
+
+val resident_round :
+  Triolet_runtime.Darray.view ->
+  arg:(int -> Triolet_base.Payload.t) ->
+  merge:('a -> Triolet_base.Payload.t -> 'a) ->
+  init:'a ->
+  'a * Triolet_runtime.Cluster.report
+(** One round over a resident view ({!Triolet_runtime.Darray.run})
+    under an observability span. *)

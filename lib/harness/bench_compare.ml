@@ -22,6 +22,10 @@ type report = {
   deltas : delta list;  (** rows present in both files, by name *)
   only_old : string list;
   only_new : string list;
+      (** rows with no usable baseline — absent from the old file, or
+          matched against a non-positive old value.  Reported as
+          "added", never a regression and never a failure: a new bench
+          family's first run always lands here. *)
   regressions : delta list;  (** deltas with ratio > 1 + threshold *)
 }
 
@@ -70,10 +74,21 @@ let compare_rows ?(threshold = 0.15) old_rows new_rows =
       (fun r -> if find b r.name = None then Some r.name else None)
       a
   in
+  (* A new row whose baseline is absent — or present but non-positive,
+     so no ratio can be formed — is "added", not an error. *)
+  let added =
+    List.filter_map
+      (fun r ->
+        match find old_rows r.name with
+        | None -> Some r.name
+        | Some o when o.ns_per_run <= 0.0 -> Some r.name
+        | Some _ -> None)
+      new_rows
+  in
   {
     deltas;
     only_old = only_in old_rows new_rows;
-    only_new = only_in new_rows old_rows;
+    only_new = added;
     regressions =
       List.filter (fun d -> d.ratio > 1.0 +. threshold) deltas;
   }
@@ -95,7 +110,7 @@ let pp_report ?(threshold = 0.15) ppf r =
     (fun n -> Format.fprintf ppf "%-32s (only in old file)@." n)
     r.only_old;
   List.iter
-    (fun n -> Format.fprintf ppf "%-32s (only in new file)@." n)
+    (fun n -> Format.fprintf ppf "%-32s (added — no baseline row)@." n)
     r.only_new;
   if r.regressions = [] then
     Format.fprintf ppf "no regressions beyond %.0f%%@."

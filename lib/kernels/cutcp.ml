@@ -149,6 +149,232 @@ let agrees ?(eps = 1e-9) g1 g2 =
 
 (* ------------------------------------------------------------------ *)
 
+(* Resident z-slab variant with halo exchange: the grid is decomposed
+   into z-slabs, one per node, and the atoms are distributed to the
+   slab their z coordinate falls in.  A slab's potential needs its own
+   atoms plus the atoms of other slabs within cutoff of its z extent —
+   a boundary-plane halo that rides as the slab segment's ghost.  Each
+   round ships only what moved: an unchanged slab's atoms are a
+   key-sized reuse, an unchanged halo likewise (ghost versions bump
+   only on content change), so local perturbations re-ship only the
+   affected slab and its neighbours' halos. *)
+
+module Darray = Triolet_runtime.Darray
+module Payload = Triolet_base.Payload
+
+module Resident = struct
+  (* Scalar geometry only — the closure forks into the children, and
+     capturing the atom arrays would let results bypass the shipped
+     segments. *)
+  type geom = {
+    nx : int;
+    ny : int;
+    nz : int;
+    spacing : float;
+    cutoff : float;
+    zblocks : (int * int) array;  (* (z0, planes) per slab/node *)
+  }
+
+  type t = {
+    session : Darray.session;
+    arr : Darray.t;
+    g : geom;
+    (* Parent-side atom state, mutable under {!displace}. *)
+    ax : floatarray;
+    ay : floatarray;
+    az : floatarray;
+    aq : floatarray;
+    mutable own_payloads : Payload.t array;  (* shipped state, to diff *)
+    mutable round : int;
+  }
+
+  let quad_payload (sel : int list) ax ay az aq =
+    let pick a = Float.Array.of_list (List.map (Vec.fget a) sel) in
+    [
+      Payload.Floats (pick ax);
+      Payload.Floats (pick ay);
+      Payload.Floats (pick az);
+      Payload.Floats (pick aq);
+    ]
+
+  let slab_of_z g z =
+    let iz = int_of_float (Float.floor (z /. g.spacing)) in
+    let iz = max 0 (min (g.nz - 1) iz) in
+    let s = ref 0 in
+    Array.iteri
+      (fun i (z0, n) -> if n > 0 && iz >= z0 && iz < z0 + n then s := i)
+      g.zblocks;
+    !s
+
+  (* Atoms owned by slab [s]: z falls inside the slab's plane range. *)
+  let own_payload_of g ax ay az aq s =
+    let sel = ref [] in
+    for a = Float.Array.length ax - 1 downto 0 do
+      if slab_of_z g (Vec.fget az a) = s then sel := a :: !sel
+    done;
+    quad_payload !sel ax ay az aq
+
+  (* Halo of slab [s]: atoms of other slabs within cutoff of the
+     slab's z extent — the only foreign atoms whose contribution can
+     reach a grid point of the slab. *)
+  let halo_payload_of g ax ay az aq s =
+    let z0, n = g.zblocks.(s) in
+    if n = 0 then quad_payload [] ax ay az aq
+    else begin
+      let zlo = (float_of_int z0 *. g.spacing) -. g.cutoff in
+      let zhi = (float_of_int (z0 + n - 1) *. g.spacing) +. g.cutoff in
+      let sel = ref [] in
+      for a = Float.Array.length ax - 1 downto 0 do
+        let z = Vec.fget az a in
+        if slab_of_z g z <> s && z >= zlo && z <= zhi then sel := a :: !sel
+      done;
+      quad_payload !sel ax ay az aq
+    end
+
+  let own_payload t s = own_payload_of t.g t.ax t.ay t.az t.aq s
+  let halo_payload t s = halo_payload_of t.g t.ax t.ay t.az t.aq s
+
+  (* Child-side compute: resident = own atoms (4 planes) then halo
+     atoms (4 planes); the reply is the slab's grid. *)
+  let work (g : geom) ~node ~resident ~arg:_ =
+    let z0, nzs = g.zblocks.(node) in
+    let grid = Float.Array.make (nzs * g.ny * g.nx) 0.0 in
+    let fa = function
+      | Payload.Floats f -> f
+      | _ -> invalid_arg "Cutcp.Resident: bad atom plane"
+    in
+    let groups =
+      match resident with
+      | [ ax; ay; az; aq ] -> [ (fa ax, fa ay, fa az, fa aq) ]
+      | [ ax; ay; az; aq; gx; gy; gz; gq ] ->
+          [ (fa ax, fa ay, fa az, fa aq); (fa gx, fa gy, fa gz, fa gq) ]
+      | _ -> invalid_arg "Cutcp.Resident: bad resident payload"
+    in
+    if nzs > 0 then
+      List.iter
+        (fun (ax, ay, az, aq) ->
+          for a = 0 to Float.Array.length ax - 1 do
+            let x = Vec.fget ax a
+            and y = Vec.fget ay a
+            and z = Vec.fget az a
+            and q = Vec.fget aq a in
+            let x0 =
+              max 0 (int_of_float (ceil ((x -. g.cutoff) /. g.spacing)))
+            and x1 =
+              min (g.nx - 1)
+                (int_of_float (floor ((x +. g.cutoff) /. g.spacing)))
+            in
+            let y0 =
+              max 0 (int_of_float (ceil ((y -. g.cutoff) /. g.spacing)))
+            and y1 =
+              min (g.ny - 1)
+                (int_of_float (floor ((y +. g.cutoff) /. g.spacing)))
+            in
+            let z0' =
+              max z0 (int_of_float (ceil ((z -. g.cutoff) /. g.spacing)))
+            and z1' =
+              min
+                (z0 + nzs - 1)
+                (int_of_float (floor ((z +. g.cutoff) /. g.spacing)))
+            in
+            for iz = z0' to z1' do
+              for iy = y0 to y1 do
+                for ix = x0 to x1 do
+                  let gx = float_of_int ix *. g.spacing in
+                  let gy = float_of_int iy *. g.spacing in
+                  let gz = float_of_int iz *. g.spacing in
+                  let dx = gx -. x and dy = gy -. y and dz = gz -. z in
+                  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+                  if r2 > 0.0 && r2 < g.cutoff *. g.cutoff then begin
+                    let i = ((((iz - z0) * g.ny) + iy) * g.nx) + ix in
+                    Vec.fset grid i
+                      (Vec.fget grid i
+                      +. (q *. ((1.0 /. sqrt r2) -. (1.0 /. g.cutoff))))
+                  end
+                done
+              done
+            done
+          done)
+        groups;
+    [ Payload.Floats grid ]
+
+  let create ?ctx (c : D.cutcp) =
+    let zblocks = Skeletons.resident_blocks ?ctx ~len:c.D.nz () in
+    let g =
+      {
+        nx = c.D.nx;
+        ny = c.D.ny;
+        nz = c.D.nz;
+        spacing = c.D.spacing;
+        cutoff = c.D.cutoff;
+        zblocks;
+      }
+    in
+    let session = Skeletons.resident_session ?ctx ~work:(work g) () in
+    let ax = Float.Array.copy c.D.ax
+    and ay = Float.Array.copy c.D.ay
+    and az = Float.Array.copy c.D.az
+    and aq = Float.Array.copy c.D.aq in
+    let own =
+      Array.init (Array.length zblocks) (own_payload_of g ax ay az aq)
+    in
+    let arr = Darray.create session ~segments:own in
+    let t = { session; arr; g; ax; ay; az; aq; own_payloads = own; round = 0 }
+    in
+    ignore (Darray.exchange_halo t.arr ~compute:(halo_payload t));
+    t
+
+  (* Move one atom (parent-side state only; {!resync} ships deltas). *)
+  let displace t ~atom ~dx ~dy ~dz =
+    Vec.fset t.ax atom (Vec.fget t.ax atom +. dx);
+    Vec.fset t.ay atom (Vec.fget t.ay atom +. dy);
+    Vec.fset t.az atom (Vec.fget t.az atom +. dz)
+
+  (* Re-derive slab contents and halos from the current atom state;
+     only slabs and halos whose bytes changed re-ship.  Returns
+     (changed slabs, changed halos). *)
+  let resync t =
+    let slabs = ref 0 in
+    Array.iteri
+      (fun i old ->
+        let p = own_payload t i in
+        if p <> old then begin
+          t.own_payloads.(i) <- p;
+          Darray.update t.arr i p;
+          incr slabs
+        end)
+      t.own_payloads;
+    let halos = Darray.exchange_halo t.arr ~compute:(halo_payload t) in
+    (!slabs, halos)
+
+  (* One round: compute every slab against its resident atoms + halo
+     and reassemble the full grid (slabs are contiguous z ranges, so
+     node-order replies concatenate). *)
+  let potential t =
+    t.round <- t.round + 1;
+    let out = Float.Array.make (t.g.nx * t.g.ny * t.g.nz) 0.0 in
+    let node = ref 0 in
+    let (), report =
+      Darray.run1 t.arr
+        ~arg:(fun _ -> [ Payload.Ints [| t.round |] ])
+        ~merge:(fun () reply ->
+          let slab =
+            match reply with
+            | [ Payload.Floats f ] -> f
+            | _ -> invalid_arg "Cutcp.Resident: bad reply"
+          in
+          let z0, _ = t.g.zblocks.(!node) in
+          Float.Array.blit slab 0 out
+            (z0 * t.g.ny * t.g.nx)
+            (Float.Array.length slab);
+          incr node)
+        ~init:()
+    in
+    (out, report)
+
+  let close t = Darray.close_session t.session
+end
+
 (* Gather formulation over a 3-D iterator: for each grid point, sum the
    contributions of every atom within the cutoff.  This is the
    inverse-direction variant GPU implementations of cutcp use (the

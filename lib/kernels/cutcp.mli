@@ -40,3 +40,32 @@ val run_gather :
 (** Gather formulation over a 3-D iterator (one sum per grid point, the
     GPU-style variant), distributed in z-slabs.  Agrees with {!run_c}
     up to floating-point rounding. *)
+
+(** {1 Resident z-slabs with halo exchange}
+
+    Grid z-slabs one per node; each slab's atoms install once as a
+    resident segment, and the foreign atoms within cutoff of the
+    slab's z extent ride as its ghost (the halo).  {!Resident.displace}
+    + {!Resident.resync} re-ship only the slabs and halos whose
+    contents changed, so a local perturbation costs a handful of atom
+    records per round instead of the whole atom set. *)
+module Resident : sig
+  type t
+
+  val create : ?ctx:Triolet.Exec.t -> Dataset.cutcp -> t
+
+  val potential : t -> floatarray * Triolet_runtime.Cluster.report
+  (** One round: every slab computes from resident atoms + halo; slabs
+      reassemble into the full grid.  Agrees with {!run_c} up to
+      floating-point rounding (per-point summation order differs). *)
+
+  val displace : t -> atom:int -> dx:float -> dy:float -> dz:float -> unit
+  (** Move one atom in the parent-side state; nothing ships until
+      {!resync}. *)
+
+  val resync : t -> int * int
+  (** Re-derive slab contents and halos; only changed ones re-ship.
+      Returns (changed slabs, changed halos). *)
+
+  val close : t -> unit
+end

@@ -97,3 +97,107 @@ let run_eden ?(alpha = 1.0) (a : Matrix.t) (b : Matrix.t) : Matrix.t =
   c
 
 let agrees ?(eps = 1e-9) c1 c2 = Matrix.equal_eps ~eps c1 c2
+
+(* ------------------------------------------------------------------ *)
+(* Resident iterative variant: A's row blocks stay on the nodes.       *)
+
+module Darray = Triolet_runtime.Darray
+module Payload = Triolet_base.Payload
+
+(** Iterated products against a fixed left operand — the shape of
+    power iteration or any [C_r = alpha * A * B_r] loop.  A's row
+    blocks install once in the resident fabric; each {!Resident.multiply}
+    ships only B (transposed) plus key-sized reuse envelopes, so when A
+    is much larger than B the per-round scatter bytes collapse.
+    {!Resident.update_a} re-ships exactly the row blocks that changed. *)
+module Resident = struct
+  type t = {
+    session : Darray.session;
+    arr : Darray.t;
+    blocks : (int * int) array;  (* (row offset, rows) per segment *)
+    mutable a_segments : Payload.t array;  (* current payloads, to diff *)
+    m : int;
+    k : int;
+  }
+
+  (* Child-side compute: resident = this node's A row block, arg = all
+     of B already transposed; reply = the C row block, in the same
+     header-plus-data shape as the segments. *)
+  let work ~alpha ~node:_ ~resident ~arg =
+    let ablk = Iter2.matrix_of_segment resident in
+    let bt = Iter2.matrix_of_segment arg in
+    let mb = Matrix.rows ablk and n = Matrix.rows bt and k = Matrix.cols ablk in
+    if Matrix.cols bt <> k then
+      invalid_arg "Sgemm.Resident: A/B dimension mismatch";
+    let da = Matrix.data ablk and dbt = Matrix.data bt in
+    let out = Float.Array.make (mb * n) 0.0 in
+    for i = 0 to mb - 1 do
+      let ai = i * k in
+      for j = 0 to n - 1 do
+        let bj = j * k in
+        let acc = ref 0.0 in
+        for l = 0 to k - 1 do
+          acc :=
+            !acc
+            +. Float.Array.unsafe_get da (ai + l)
+               *. Float.Array.unsafe_get dbt (bj + l)
+        done;
+        Float.Array.unsafe_set out ((i * n) + j) (alpha *. !acc)
+      done
+    done;
+    [ Payload.Ints [| mb; n |]; Payload.Floats out ]
+
+  let segment_of (a : Matrix.t) (off, n) =
+    [
+      Payload.Ints [| n; Matrix.cols a |];
+      Payload.Floats (Matrix.data (Matrix.copy_rows a off n));
+    ]
+
+  let create ?ctx ?(alpha = 1.0) (a : Matrix.t) =
+    let session = Skeletons.resident_session ?ctx ~work:(work ~alpha) () in
+    let blocks = Skeletons.resident_blocks ?ctx ~len:(Matrix.rows a) () in
+    let a_segments = Array.map (segment_of a) blocks in
+    let arr = Darray.create session ~segments:a_segments in
+    { session; arr; blocks; a_segments; m = Matrix.rows a; k = Matrix.cols a }
+
+  let multiply t (b : Matrix.t) =
+    if Matrix.rows b <> t.k then invalid_arg "Sgemm.Resident.multiply";
+    let bt = Matrix.transpose b in
+    let argp =
+      [
+        Payload.Ints [| Matrix.rows bt; Matrix.cols bt |];
+        Payload.Floats (Matrix.data bt);
+      ]
+    in
+    let c = Matrix.create t.m (Matrix.cols b) in
+    let row0 = ref 0 in
+    let (), report =
+      Darray.run1 t.arr
+        ~arg:(fun _ -> argp)
+        ~merge:(fun () reply ->
+          (* Replies merge in node order = row-block order. *)
+          let blk = Iter2.matrix_of_segment reply in
+          Matrix.blit_block ~src:blk ~dst:c ~r0:!row0 ~c0:0;
+          row0 := !row0 + Matrix.rows blk)
+        ~init:()
+    in
+    (c, report)
+
+  (* Replace A; only row blocks whose bytes differ re-ship. *)
+  let update_a t (a : Matrix.t) =
+    if Matrix.rows a <> t.m || Matrix.cols a <> t.k then
+      invalid_arg "Sgemm.Resident.update_a: geometry change";
+    let changed = ref 0 in
+    Array.iteri
+      (fun i blk ->
+        let p = segment_of a blk in
+        if p <> t.a_segments.(i) then begin
+          t.a_segments.(i) <- p;
+          Darray.update t.arr i p;
+          incr changed
+        end)
+      t.blocks;
+    !changed
+
+  let close t = Darray.close_session t.session
+end

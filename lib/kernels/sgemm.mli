@@ -29,3 +29,27 @@ val run_eden : ?alpha:float -> Triolet.Matrix.t -> Triolet.Matrix.t -> Triolet.M
     ("chunked form"), sequential boxed transposition. *)
 
 val agrees : ?eps:float -> Triolet.Matrix.t -> Triolet.Matrix.t -> bool
+
+(** Resident iterative variant for [C_r = alpha * A * B_r] loops: A's
+    row blocks install once in a {!Triolet_runtime.Darray} session and
+    every {!Resident.multiply} ships only B (transposed) plus key-sized
+    reuse envelopes — when A dwarfs B, per-round scatter bytes
+    collapse.  Under the [Process] backend create before any domain is
+    spawned. *)
+module Resident : sig
+  type t
+
+  val create : ?ctx:Triolet.Exec.t -> ?alpha:float -> Triolet.Matrix.t -> t
+
+  val multiply :
+    t -> Triolet.Matrix.t -> Triolet.Matrix.t * Triolet_runtime.Cluster.report
+  (** One round: ship B, compute row blocks against resident A, gather
+      C.  The first call's report counts A's [Seg_put]s; later calls
+      count only reuses plus B. *)
+
+  val update_a : t -> Triolet.Matrix.t -> int
+  (** Replace A (same shape); returns how many row blocks actually
+      changed — exactly those re-ship on the next multiply. *)
+
+  val close : t -> unit
+end

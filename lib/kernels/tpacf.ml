@@ -212,3 +212,89 @@ let run_eden ~bins (d : D.tpacf) : result =
   }
 
 let agrees r1 r2 = r1.dd = r2.dd && r1.dr = r2.dr && r1.rr = r2.rr
+
+(* ------------------------------------------------------------------ *)
+(* Resident multi-round variant: observed points stay on the nodes.    *)
+
+module Darray = Triolet_runtime.Darray
+module Payload = Triolet_base.Payload
+
+(** The DR loop re-visits the observed catalog once per random set; the
+    resident variant installs the observed points' blocks in the warm
+    fabric once, then each round ships only one random set.  Histograms
+    are integer counts and every observed point lands in exactly one
+    block, so {!Resident.dr} equals {!run_c}'s DR exactly. *)
+module Resident = struct
+  type t = { session : Darray.session; arr : Darray.t; bins : int }
+
+  let catalog_payload (c : D.catalog) off n =
+    [
+      Payload.Floats (Float.Array.sub c.D.cx off n);
+      Payload.Floats (Float.Array.sub c.D.cy off n);
+      Payload.Floats (Float.Array.sub c.D.cz off n);
+    ]
+
+  let catalog_of_payload = function
+    | [ x; y; z ] ->
+        {
+          D.cx = Payload.floats_exn x;
+          cy = Payload.floats_exn y;
+          cz = Payload.floats_exn z;
+        }
+    | _ -> invalid_arg "Tpacf.Resident: bad catalog payload"
+
+  (* Child-side compute: cross-histogram of this node's observed block
+     against the round's random set. *)
+  let work ~bins ~node:_ ~resident ~arg =
+    let obs = catalog_of_payload resident in
+    let rand = catalog_of_payload arg in
+    let n1 = D.catalog_size obs and n2 = D.catalog_size rand in
+    let h = Array.make bins 0 in
+    for i = 0 to n1 - 1 do
+      let pi = point obs i in
+      for j = 0 to n2 - 1 do
+        let b = score ~bins pi (point rand j) in
+        h.(b) <- h.(b) + 1
+      done
+    done;
+    [ Payload.Ints h ]
+
+  let create ?ctx ~bins (observed : D.catalog) =
+    let session = Skeletons.resident_session ?ctx ~work:(work ~bins) () in
+    let segments =
+      Skeletons.resident_segments ?ctx ~len:(D.catalog_size observed)
+        ~payload_of:(catalog_payload observed) ()
+    in
+    let arr = Darray.create session ~segments in
+    { session; arr; bins }
+
+  (* One round: observed (resident) against one random set. *)
+  let cross t (rand : D.catalog) =
+    let argp = catalog_payload rand 0 (D.catalog_size rand) in
+    Darray.run1 t.arr
+      ~arg:(fun _ -> argp)
+      ~merge:(fun acc reply ->
+        match reply with
+        | [ h ] ->
+            Array.iteri (fun i c -> acc.(i) <- acc.(i) + c)
+              (Payload.ints_exn h);
+            acc
+        | _ -> invalid_arg "Tpacf.Resident: bad reply")
+      ~init:(Array.make t.bins 0)
+
+  (* The full DR histogram: one warm round per random set; reports are
+     returned per round so callers can see the byte collapse. *)
+  let dr t (randoms : D.catalog array) =
+    let hist = Array.make t.bins 0 in
+    let reports =
+      Array.map
+        (fun r ->
+          let h, report = cross t r in
+          Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) h;
+          report)
+        randoms
+    in
+    (hist, reports)
+
+  let close t = Darray.close_session t.session
+end

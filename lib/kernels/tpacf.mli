@@ -31,3 +31,30 @@ val dd_pipeline : bins:int -> Dataset.tpacf -> int Triolet.Iter.t
 val rr_pipeline : bins:int -> Dataset.tpacf -> int array Triolet.Iter.t
 (** RR's distributed reduction over random sets, pre-merge: one
     histogram per shipped set. *)
+
+(** {1 Resident multi-round DR}
+
+    The observed catalog's blocks install once in a
+    {!Triolet_runtime.Darray} session; each round ships one random set
+    only.  Integer histograms with each observed point in exactly one
+    block, so {!Resident.dr} equals {!run_c}'s DR exactly. *)
+module Resident : sig
+  type t
+
+  val create : ?ctx:Triolet.Exec.t -> bins:int -> Dataset.catalog -> t
+
+  val cross :
+    t -> Dataset.catalog -> int array * Triolet_runtime.Cluster.report
+  (** One warm round: resident observed blocks against one random
+      set. *)
+
+  val dr :
+    t ->
+    Dataset.catalog array ->
+    int array * Triolet_runtime.Cluster.report array
+  (** Sum of {!cross} over all sets, with the per-round reports (round
+      0 pays the observed [Seg_put]s; later rounds ship reuses plus
+      one random set). *)
+
+  val close : t -> unit
+end

@@ -284,12 +284,25 @@ let run_faulty pool ~workers spec ~scatter ~work ~result_codec ~merge ~init =
     incr corrupt_drops;
     Stats.record_corrupt_drop ()
   in
+  (* Each (worker, slice) is encoded exactly once; retries reuse the
+     cached bytes (dedup keys on the worker id, not the seq), so
+     scatter accounting reflects wire traffic, not re-encoding. *)
+  let encoded = Array.make workers None in
+  let encoded_slice wk =
+    match encoded.(wk) with
+    | Some bytes -> bytes
+    | None ->
+        seq.(wk) <- seq.(wk) + 1;
+        let bytes =
+          Obs.span ~name:"cluster.serialize" ~attrs:(node_attr wk) (fun () ->
+              Stats.record_encode ();
+              Codec.to_bytes scatter_codec (wk, seq.(wk), payloads.(wk)))
+        in
+        encoded.(wk) <- Some bytes;
+        bytes
+  in
   let send_scatter ~target wk =
-    seq.(wk) <- seq.(wk) + 1;
-    let bytes =
-      Obs.span ~name:"cluster.serialize" ~attrs:(node_attr wk) (fun () ->
-          Codec.to_bytes scatter_codec (wk, seq.(wk), payloads.(wk)))
-    in
+    let bytes = encoded_slice wk in
     max_msg := max !max_msg (Bytes.length bytes);
     scatter_bytes := !scatter_bytes + Bytes.length bytes;
     incr scatter_msgs;
@@ -559,6 +572,10 @@ let run_proc_clean (topo : topology) ~workers ~scatter ~work ~result_codec ~merg
           Transport.Socket.send chan ~kind:Transport.Pong payload;
           loop ()
       | (Transport.Err | Transport.Nack | Transport.Pong), _ -> loop ()
+      | (Transport.Seg_put | Transport.Seg_reuse | Transport.Seg_free), _ ->
+          (* Segment residency belongs to Darray sessions, not one-shot
+             runs; ignore like other non-task traffic. *)
+          loop ()
       | Transport.Data, bytes ->
           (match
              let payload = Codec.of_bytes Payload.codec bytes in
@@ -614,11 +631,14 @@ let run_proc_clean (topo : topology) ~workers ~scatter ~work ~result_codec ~merg
             failwith (Printf.sprintf "Cluster: node %d raised: %s" w msg)
         | Transport.Nack, _ ->
             failwith (Printf.sprintf "Cluster: node %d rejected its task" w)
-        | (Transport.Ping | Transport.Pong), _ ->
-            (* Heartbeats belong to the service fabric, not a one-shot
-               run; a stray one here is a protocol violation. *)
+        | ( ( Transport.Ping | Transport.Pong | Transport.Seg_put
+            | Transport.Seg_reuse | Transport.Seg_free ),
+            _ ) ->
+            (* Heartbeats belong to the service fabric and segment
+               frames to Darray sessions, not a one-shot run; a stray
+               one here is a protocol violation. *)
             failwith
-              (Printf.sprintf "Cluster: unexpected heartbeat frame from node %d" w)
+              (Printf.sprintf "Cluster: unexpected control frame from node %d" w)
         | Transport.Data, reply ->
             max_msg := max !max_msg (Bytes.length reply);
             gather_bytes := !gather_bytes + Bytes.length reply;
@@ -679,7 +699,10 @@ let run_proc_faulty (topo : topology) ~workers ~poll_interval spec ~scatter ~wor
       | Transport.Ping, payload ->
           Transport.Socket.send chan ~kind:Transport.Pong payload;
           loop ()
-      | (Transport.Err | Transport.Nack | Transport.Pong), _ -> loop ()
+      | ( ( Transport.Err | Transport.Nack | Transport.Pong
+          | Transport.Seg_put | Transport.Seg_reuse | Transport.Seg_free ),
+          _ ) ->
+          loop ()
       | Transport.Data, bytes ->
           (match Codec.of_bytes scatter_codec bytes with
           | exception _ ->
@@ -743,12 +766,29 @@ let run_proc_faulty (topo : topology) ~workers ~poll_interval spec ~scatter ~wor
             ()
         end
       in
+      (* Each (worker, slice) is encoded exactly once; retries reuse the
+         cached bytes, so scatter accounting reflects wire traffic and
+         recovery never pays serialization again.  The envelope's seq
+         field is therefore the first attempt's — dedup keys on the
+         worker id alone, so replayed frames stay distinguishable
+         without re-encoding. *)
+      let encoded = Array.make workers None in
+      let encoded_slice wk =
+        match encoded.(wk) with
+        | Some bytes -> bytes
+        | None ->
+            seq.(wk) <- seq.(wk) + 1;
+            let bytes =
+              Obs.span ~name:"cluster.serialize" ~attrs:(node_attr wk)
+                (fun () ->
+                  Stats.record_encode ();
+                  Codec.to_bytes scatter_codec (wk, seq.(wk), payloads.(wk)))
+            in
+            encoded.(wk) <- Some bytes;
+            bytes
+      in
       let send_scatter ~target wk =
-        seq.(wk) <- seq.(wk) + 1;
-        let bytes =
-          Obs.span ~name:"cluster.serialize" ~attrs:(node_attr wk) (fun () ->
-              Codec.to_bytes scatter_codec (wk, seq.(wk), payloads.(wk)))
-        in
+        let bytes = encoded_slice wk in
         max_msg := max !max_msg (Bytes.length bytes);
         scatter_bytes := !scatter_bytes + Bytes.length bytes;
         incr scatter_msgs;
@@ -844,8 +884,13 @@ let run_proc_faulty (topo : topology) ~workers ~poll_interval spec ~scatter ~wor
                   if wk >= 0 && wk < workers then
                     failed_exn.(wk) <-
                       Some (Failure (Printf.sprintf "node work raised: %s" msg)))
-          | `Msg (_, (Transport.Ping | Transport.Pong), _) ->
-              (* One-shot runs exchange no heartbeats; ignore strays. *)
+          | `Msg
+              ( _,
+                ( Transport.Ping | Transport.Pong | Transport.Seg_put
+                | Transport.Seg_reuse | Transport.Seg_free ),
+                _ ) ->
+              (* One-shot runs exchange no heartbeats or segment
+                 frames; ignore strays. *)
               ()
           | `Wake ->
               (* No wake descriptor is registered on this path. *)
@@ -916,8 +961,12 @@ let run_proc_faulty (topo : topology) ~workers ~poll_interval spec ~scatter ~wor
             Stats.record_message ~bytes:(Bytes.length bytes);
             drain_frame bytes;
             drain ()
-        | `Msg (_, (Transport.Err | Transport.Nack | Transport.Ping | Transport.Pong), _)
-          ->
+        | `Msg
+            ( _,
+              ( Transport.Err | Transport.Nack | Transport.Ping
+              | Transport.Pong | Transport.Seg_put | Transport.Seg_reuse
+              | Transport.Seg_free ),
+              _ ) ->
             drain ()
         | `Wake -> drain ()
         | `Eof node ->

@@ -33,10 +33,15 @@
 
 (** [Data] carries protocol payload; [Err] a remote failure report;
     [Nack] a rejected frame (e.g. a corrupt envelope); [Ping]/[Pong]
-    are the supervision heartbeat. *)
-type kind = Data | Err | Nack | Ping | Pong
+    are the supervision heartbeat.  [Seg_put] installs a distributed
+    array segment's bytes in a child's resident table; [Seg_reuse]
+    names an already-resident [(darray, segment, version)] so an
+    unchanged segment ships only its key; [Seg_free] evicts a
+    darray's segments when the array is released. *)
+type kind = Data | Err | Nack | Ping | Pong | Seg_put | Seg_reuse | Seg_free
 
-let all_kinds = [ Data; Err; Nack; Ping; Pong ]
+(* New kinds append at the end: generators index this list. *)
+let all_kinds = [ Data; Err; Nack; Ping; Pong; Seg_put; Seg_reuse; Seg_free ]
 
 let kind_name = function
   | Data -> "Data"
@@ -44,6 +49,9 @@ let kind_name = function
   | Nack -> "Nack"
   | Ping -> "Ping"
   | Pong -> "Pong"
+  | Seg_put -> "Seg_put"
+  | Seg_reuse -> "Seg_reuse"
+  | Seg_free -> "Seg_free"
 
 exception Bad_frame of string
 (** A frame that cannot be on the wire: unknown kind byte or a
@@ -62,6 +70,9 @@ let kind_to_byte = function
   | Nack -> '\002'
   | Ping -> '\003'
   | Pong -> '\004'
+  | Seg_put -> '\005'
+  | Seg_reuse -> '\006'
+  | Seg_free -> '\007'
 
 let kind_of_byte = function
   | '\000' -> Data
@@ -69,6 +80,9 @@ let kind_of_byte = function
   | '\002' -> Nack
   | '\003' -> Ping
   | '\004' -> Pong
+  | '\005' -> Seg_put
+  | '\006' -> Seg_reuse
+  | '\007' -> Seg_free
   | c -> raise (Bad_frame (Printf.sprintf "unknown kind byte %d" (Char.code c)))
 
 (* ------------------------------------------------------------------ *)
@@ -212,15 +226,24 @@ let action_for spec ~role ~state event =
     Child-side states: ["serving"] — echo pings, compute data frames;
     ["stopped"] — channel closed, nothing further.  A child drops
     [Err]/[Nack]/[Pong] (kinds only it sends); a parent drops [Ping]
-    likewise, and drops everything in ["backoff"] (stale frames of a
-    dead incarnation). *)
+    and the parent-only [Seg_*] kinds likewise, and drops everything in
+    ["backoff"] (stale frames of a dead incarnation).
+
+    The segment kinds ride the same channel as everything else: a
+    serving child consumes [Seg_put] (install bytes), [Seg_reuse]
+    (assert residency of a version) and [Seg_free] (evict) in place;
+    it answers with plain [Data]/[Nack] frames, so no new child-side
+    send kinds appear. *)
 let spec =
   let parent_rules =
     List.map
       (fun k -> { role = Parent; state = "live"; event = Recv k; action = Stay })
       [ Data; Err; Nack; Pong ]
+    @ List.map
+        (fun k ->
+          { role = Parent; state = "live"; event = Recv k; action = Drop })
+        [ Ping; Seg_put; Seg_reuse; Seg_free ]
     @ [
-        { role = Parent; state = "live"; event = Recv Ping; action = Drop };
         { role = Parent; state = "live"; event = Eof; action = Goto "backoff" };
         { role = Parent; state = "live"; event = Miss_limit; action = Stay };
         { role = Parent; state = "backoff"; event = Eof; action = Drop };
@@ -237,11 +260,13 @@ let spec =
         all_kinds
   in
   let child_rules =
-    [
-      { role = Child; state = "serving"; event = Recv Ping; action = Stay };
-      { role = Child; state = "serving"; event = Recv Data; action = Stay };
-      { role = Child; state = "serving"; event = Eof; action = Goto "stopped" };
-    ]
+    List.map
+      (fun k ->
+        { role = Child; state = "serving"; event = Recv k; action = Stay })
+      [ Ping; Data; Seg_put; Seg_reuse; Seg_free ]
+    @ [
+        { role = Child; state = "serving"; event = Eof; action = Goto "stopped" };
+      ]
     @ List.map
         (fun k ->
           { role = Child; state = "serving"; event = Recv k; action = Drop })
@@ -260,7 +285,7 @@ let spec =
     rules = parent_rules @ child_rules;
     sends =
       [
-        (Parent, "live", [ Ping; Data ]);
+        (Parent, "live", [ Ping; Data; Seg_put; Seg_reuse; Seg_free ]);
         (Child, "serving", [ Pong; Data; Err; Nack ]);
       ];
   }

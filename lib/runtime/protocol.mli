@@ -10,7 +10,12 @@
 
 (** {1 Frame kinds and framing} *)
 
-type kind = Data | Err | Nack | Ping | Pong
+type kind = Data | Err | Nack | Ping | Pong | Seg_put | Seg_reuse | Seg_free
+(** [Seg_put] installs a distributed-array segment's bytes in a child's
+    resident table; [Seg_reuse] names an already-resident
+    [(darray, segment, version)] key so an unchanged segment ships no
+    bytes; [Seg_free] evicts a darray's segments.  All three are
+    parent-sent only. *)
 
 exception Bad_frame of string
 (** Typed rejection for anything that cannot be a frame: unknown kind

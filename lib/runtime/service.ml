@@ -163,6 +163,12 @@ let serve_loop ~cores_per_node ~work ~id chan =
         Transport.Socket.send chan ~kind:Transport.Pong payload;
         loop ()
     | (Transport.Err | Transport.Nack | Transport.Pong), _ -> loop ()
+    | (Transport.Seg_put | Transport.Seg_reuse | Transport.Seg_free), _ ->
+        (* Segment residency lives in Darray sessions; a request/reply
+           service child holds no segment table, so reject loudly
+           rather than silently accept a put. *)
+        Transport.Socket.send chan ~kind:Transport.Nack Bytes.empty;
+        loop ()
     | Transport.Data, bytes ->
         (match Codec.of_bytes task_codec bytes with
         | exception _ ->
@@ -318,8 +324,13 @@ let execute t req =
               slices
         | `Msg (node, Transport.Pong, _) ->
             ignore (Supervisor.note_pong t.sup node ~now:(Clock.monotonic_ns ()))
-        | `Msg (node, Transport.Ping, _) ->
-            Supervisor.note_frame t.sup node Transport.Ping
+        | `Msg
+            ( node,
+              ( ( Transport.Ping | Transport.Seg_put | Transport.Seg_reuse
+                | Transport.Seg_free ) as k ),
+              _ ) ->
+            (* Parent-only kinds echoed back are noise; track and drop. *)
+            Supervisor.note_frame t.sup node k
         | `Msg (node, Transport.Nack, _) ->
             Supervisor.note_frame t.sup node Transport.Nack;
             Stats.record_corrupt_drop ()
@@ -400,8 +411,12 @@ let dispatcher_loop t =
                 (* Stale traffic from a finished request. *)
                 Supervisor.note_frame t.sup node k;
                 Stats.record_redelivery ()
-            | `Msg (node, Transport.Ping, _) ->
-                Supervisor.note_frame t.sup node Transport.Ping
+            | `Msg
+                ( node,
+                  ( ( Transport.Ping | Transport.Seg_put
+                    | Transport.Seg_reuse | Transport.Seg_free ) as k ),
+                  _ ) ->
+                Supervisor.note_frame t.sup node k
             | `Timeout -> ()
             | `No_nodes -> Unix.sleepf 0.001);
             Mutex.lock t.lock;

@@ -136,6 +136,15 @@ let record_busy ~worker ns =
 
 let record_task () = add tasks_spawned 1
 
+(* Payload serializations performed by the scatter paths.  A standalone
+   counter (not part of {!snapshot}): tests assert encode-count ==
+   slice-count under injected drops, pinning the encode-once contract
+   of the retry loops. *)
+let payload_encodes = Atomic.make 0
+let record_encode () = Atomic.incr payload_encodes
+let encode_count () = Atomic.get payload_encodes
+let reset_encode_count () = Atomic.set payload_encodes 0
+
 (* Fault-tolerance counters (bumped by {!Fault} and {!Cluster}). *)
 let record_fault () = add faults_injected 1
 let record_retry () = add retries 1

@@ -55,6 +55,18 @@ val record_task : unit -> unit
     Bumped by the {!Fault} injector and the recovery paths in
     {!Cluster.run}; zero in fault-free runs. *)
 
+(** {2 Encode accounting}
+
+    Standalone counter (not part of {!snapshot}) for payload
+    serializations performed by the scatter paths.  The retry loops
+    encode each (node, slice) exactly once and replay cached bytes, so
+    under injected drops [encode_count] equals the slice count — a
+    regression test pins that contract. *)
+
+val record_encode : unit -> unit
+val encode_count : unit -> int
+val reset_encode_count : unit -> unit
+
 val record_fault : unit -> unit
 val record_retry : unit -> unit
 val record_redelivery : unit -> unit

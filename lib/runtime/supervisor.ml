@@ -132,19 +132,44 @@ let note_pong t i ~now =
 
 (** Node [i]'s channel hit EOF: every kind of death funnels through
     here.  Schedules the replacement fork after the node's current
-    backoff and escalates the backoff for the next time. *)
+    backoff and escalates the backoff for the next time.
+
+    The delay actually slept is clamped {e before} it is scheduled, so
+    no single wait can exceed [backoff_max] even if an escalated value
+    leaked into [c.backoff]; the successor delay is then escalated from
+    the clamped value.  A flapping node therefore sleeps exactly
+    [base, 2·base, …, max, max, …] — the sequence a unit test pins. *)
 let note_eof t i ~now =
   Protocol.step t.trackers.(i) Protocol.Eof;
   let c = t.children.(i) in
   if c.respawn_at = None then begin
+    let delay = Float.min t.backoff_max c.backoff in
     Obs.instant ~name:"service.child.death"
       ~attrs:
-        [ ("node", string_of_int i); ("backoff", Printf.sprintf "%.3f" c.backoff) ]
+        [ ("node", string_of_int i); ("backoff", Printf.sprintf "%.3f" delay) ]
       ();
-    c.respawn_at <- Some (now + ns_of_s c.backoff);
-    c.backoff <- Float.min t.backoff_max (c.backoff *. 2.0);
+    c.respawn_at <- Some (now + ns_of_s delay);
+    c.backoff <- Float.min t.backoff_max (delay *. 2.0);
     c.outstanding <- 0
   end
+
+(** Current respawn delay (seconds) node [i] would sleep if it died
+    now, and the deadline of a scheduled respawn — introspection for
+    tests pinning the backoff sequence. *)
+let backoff_s t i = Float.min t.backoff_max t.children.(i).backoff
+let respawn_due_at t i = t.children.(i).respawn_at
+
+(** The delay sequence a node that keeps dying young sleeps, as pure
+    data: [base, 2·base, …] clamped at [max].  [note_eof] follows this
+    exactly; the unit test checks both against each other. *)
+let backoff_sequence ~base ~max:max_s n =
+  let rec go d k acc =
+    if k = 0 then List.rev acc
+    else
+      let slept = Float.min max_s d in
+      go (Float.min max_s (slept *. 2.0)) (k - 1) (slept :: acc)
+  in
+  go base n []
 
 (* The replacement child: possibly sacrificed to the seeded
    [Crash_on_respawn] point (decided in the parent, before the fork, so

@@ -51,6 +51,19 @@ val protocol_state : t -> int -> string
 (** Current {!Protocol.spec} parent-side state of node [i]'s tracker
     (["live"] or ["backoff"]). *)
 
+val backoff_s : t -> int -> float
+(** The respawn delay (seconds) node [i] would sleep if it died now —
+    already clamped to [backoff_max]. *)
+
+val respawn_due_at : t -> int -> int option
+(** Monotonic-ns deadline of node [i]'s scheduled respawn, if one is
+    pending. *)
+
+val backoff_sequence : base:float -> max:float -> int -> float list
+(** First [n] delays a node that keeps dying young sleeps:
+    [base, 2·base, …] clamped at [max] {e before} each sleep.
+    {!note_eof} follows this sequence exactly. *)
+
 (** {1 Event reports from the owner} *)
 
 val note_pong : t -> int -> now:int -> bool

@@ -51,7 +51,15 @@ exception Closed
     constructor namespace.  A malformed header (unknown kind byte,
     absurd length field) raises [Protocol.Bad_frame], not
     [Invalid_argument]. *)
-type kind = Protocol.kind = Data | Err | Nack | Ping | Pong
+type kind = Protocol.kind =
+  | Data
+  | Err
+  | Nack
+  | Ping
+  | Pong
+  | Seg_put
+  | Seg_reuse
+  | Seg_free
 
 let kind_to_byte = Protocol.kind_to_byte
 let kind_of_byte = Protocol.kind_of_byte

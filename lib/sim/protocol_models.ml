@@ -731,3 +731,244 @@ module Heartbeat_model = struct
       =
     Modelcheck.explore (make_model ?bug ~kills ~losses ~spurious ~n_slices ())
 end
+
+(* ------------------------------------------------------------------ *)
+(* Darray segment-version protocol: one parent, one resident child,
+   versioned segments shipped as Seg_put and revalidated as key-only
+   Seg_reuse.  Safety: a task only ever computes against exactly the
+   segment versions the parent believes current — a stale resident copy
+   must be refused (child-side version check) or re-shipped
+   (parent-side delta tracking), never silently used.                  *)
+
+module Segment_model = struct
+  type bug =
+    | Stale_reuse
+        (** the parent treats "child holds {e some} version" as "child
+            holds the {e current} version" and sends a key-only reuse
+            naming the stale version after an update — the child's
+            check passes (it does hold that version) and the compute
+            runs on stale data *)
+    | Skip_version_check
+        (** the child accepts any [Seg_reuse]/task key without
+            checking its table — a parent that forgot a crash wiped
+            the child then computes against a lost or stale segment *)
+
+  type frame =
+    | Put of int * int  (** segment, version *)
+    | Reuse of int * int
+    | Task of (int * int) list  (** keys the round claims to run on *)
+
+  type state = {
+    truth : int list;  (** parent-side current version per segment *)
+    believed : int option list;  (** what the parent thinks the child holds *)
+    child : int option list;  (** the child's resident table *)
+    wire : frame list;  (** in-flight frames, FIFO *)
+    inflight : bool;  (** a round is issued and not yet computed *)
+    rounds : int;  (** rounds still to complete *)
+    updates : int;  (** remaining update budget *)
+    crashes : int;  (** remaining crash budget *)
+    done_rounds : int;
+    bad : string option;  (** a compute saw a wrong version *)
+  }
+
+  let nth_set l i v = List.mapi (fun j x -> if j = i then v else x) l
+
+  let make_model ?bug ~n_segs ~rounds ~updates ~crashes () =
+    (module struct
+      type nonrec state = state
+
+      let name = "segment"
+
+      let scenarios =
+        [
+          {
+            truth = List.init n_segs (fun _ -> 1);
+            believed = List.init n_segs (fun _ -> None);
+            child = List.init n_segs (fun _ -> None);
+            wire = [];
+            inflight = false;
+            rounds;
+            updates;
+            crashes;
+            done_rounds = 0;
+            bad = None;
+          };
+        ]
+
+      let transitions st =
+        if st.bad <> None then []
+        else
+          (* Parent updates a segment between rounds: version bump;
+             the believed map is untouched (that is the point — the
+             next issue must notice the divergence). *)
+          let update =
+            if st.updates = 0 || st.inflight then []
+            else
+              List.init (List.length st.truth) (fun i ->
+                  ( Printf.sprintf "update seg%d -> v%d" i
+                      (List.nth st.truth i + 1),
+                    {
+                      st with
+                      updates = st.updates - 1;
+                      truth = nth_set st.truth i (List.nth st.truth i + 1);
+                    } ))
+          in
+          (* Issue a round: per segment, a put if the believed version
+             disagrees with truth, a key-only reuse otherwise.  The
+             Stale_reuse bug reuses whenever the child holds anything. *)
+          let issue =
+            if st.inflight || st.rounds = 0 then []
+            else
+              let frames, believed, keys =
+                List.fold_left
+                  (fun (fs, bel, ks) i ->
+                    let v = List.nth st.truth i in
+                    let b = List.nth st.believed i in
+                    let matches =
+                      match (bug, b) with
+                      | Some Stale_reuse, Some bv -> Some bv
+                      | _, Some bv when bv = v -> Some bv
+                      | _ -> None
+                    in
+                    match matches with
+                    | Some bv ->
+                        (fs @ [ Reuse (i, bv) ], bel, ks @ [ (i, bv) ])
+                    | None ->
+                        ( fs @ [ Put (i, v) ],
+                          nth_set bel i (Some v),
+                          ks @ [ (i, v) ] ))
+                  ([], st.believed, [])
+                  (List.init (List.length st.truth) Fun.id)
+              in
+              [
+                ( "issue round",
+                  {
+                    st with
+                    wire = st.wire @ frames @ [ Task keys ];
+                    believed;
+                    inflight = true;
+                  } );
+              ]
+          in
+          (* Child processes the next frame.  A version check failure
+             is a Nack: the wire drains and the parent forgets its
+             belief in the offending segment, so the next issue ships
+             a put — the protocol self-heals instead of computing. *)
+          let child_step =
+            match st.wire with
+            | [] -> []
+            | f :: wire -> (
+                let nack i =
+                  ( Printf.sprintf "nack seg%d" i,
+                    {
+                      st with
+                      wire = [];
+                      inflight = false;
+                      believed = nth_set st.believed i None;
+                    } )
+                in
+                match f with
+                | Put (i, v) ->
+                    [
+                      ( Printf.sprintf "put seg%d v%d" i v,
+                        { st with wire; child = nth_set st.child i (Some v) }
+                      );
+                    ]
+                | Reuse (i, v) ->
+                    if
+                      bug = Some Skip_version_check
+                      || List.nth st.child i = Some v
+                    then
+                      [ (Printf.sprintf "reuse seg%d v%d" i v, { st with wire }) ]
+                    else [ nack i ]
+                | Task keys -> (
+                    let mismatch =
+                      if bug = Some Skip_version_check then None
+                      else
+                        List.find_opt
+                          (fun (i, v) -> List.nth st.child i <> Some v)
+                          keys
+                    in
+                    match mismatch with
+                    | Some (i, _) -> [ nack i ]
+                    | None ->
+                        (* Compute.  Safety: the versions the child
+                           actually holds are the parent's current
+                           truth for every key of the round. *)
+                        let stale =
+                          List.find_opt
+                            (fun (i, _) ->
+                              List.nth st.child i
+                              <> Some (List.nth st.truth i))
+                            keys
+                        in
+                        let st' =
+                          {
+                            st with
+                            wire;
+                            inflight = false;
+                            rounds = st.rounds - 1;
+                            done_rounds = st.done_rounds + 1;
+                          }
+                        in
+                        [
+                          ( "compute",
+                            match stale with
+                            | Some (i, _) ->
+                                {
+                                  st' with
+                                  bad =
+                                    Some
+                                      (Printf.sprintf
+                                         "computed with stale seg%d: child \
+                                          holds %s, truth v%d"
+                                         i
+                                         (match List.nth st.child i with
+                                         | Some v -> Printf.sprintf "v%d" v
+                                         | None -> "nothing")
+                                         (List.nth st.truth i));
+                                }
+                            | None -> st' );
+                        ]))
+          in
+          (* Crash: the child's table is gone; EOF makes the parent
+             drop the round and its residency beliefs (the real
+             implementation resets the believed map on EOF).  The
+             Skip_version_check bug pairs the disabled child check
+             with a parent that forgets the reset — the exact failure
+             the check is the defense-in-depth against. *)
+          let crash =
+            if st.crashes = 0 then []
+            else
+              [
+                ( "crash+respawn",
+                  {
+                    st with
+                    crashes = st.crashes - 1;
+                    child = List.map (fun _ -> None) st.child;
+                    wire = [];
+                    inflight = false;
+                    believed =
+                      (if bug = Some Skip_version_check then st.believed
+                       else List.map (fun _ -> None) st.believed);
+                  } );
+              ]
+          in
+          update @ issue @ child_step @ crash
+
+      let invariant st = st.bad
+
+      (* At the bound every requested round computed. *)
+      let terminal_ok st =
+        if st.rounds > 0 then
+          Some
+            (Printf.sprintf "%d round(s) never computed (residency livelock)"
+               st.rounds)
+        else None
+    end : Modelcheck.MODEL
+      with type state = state)
+
+  let check ?bug ?(n_segs = 2) ?(rounds = 2) ?(updates = 2) ?(crashes = 1) ()
+      =
+    Modelcheck.explore (make_model ?bug ~n_segs ~rounds ~updates ~crashes ())
+end

@@ -112,3 +112,53 @@ module Heartbeat_model : sig
       Invariants: no slice double-completes; at the bound every slice
       completed exactly once and every child is back live. *)
 end
+
+module Segment_model : sig
+  type bug =
+    | Stale_reuse
+        (** the parent sends a key-only reuse naming the version the
+            child holds instead of the current one after an update —
+            the child's check passes and the compute runs on stale
+            data *)
+    | Skip_version_check
+        (** the child accepts reuses and task keys without checking
+            its table — computes against lost or stale segments after
+            a crash the parent forgot *)
+
+  type frame =
+    | Put of int * int  (** segment, version *)
+    | Reuse of int * int
+    | Task of (int * int) list
+
+  type state = {
+    truth : int list;
+    believed : int option list;
+    child : int option list;
+    wire : frame list;
+    inflight : bool;
+    rounds : int;
+    updates : int;
+    crashes : int;
+    done_rounds : int;
+    bad : string option;
+  }
+
+  val check :
+    ?bug:bug ->
+    ?n_segs:int ->
+    ?rounds:int ->
+    ?updates:int ->
+    ?crashes:int ->
+    unit ->
+    Modelcheck.report
+  (** The Darray residency protocol over [n_segs] versioned segments
+      (default 2): [rounds] compute rounds (default 2) under a budget
+      of [updates] parent-side version bumps (default 2) and [crashes]
+      child wipes (default 1).  A correct parent ships a [Seg_put] for
+      every segment whose believed version disagrees with truth and a
+      key-only [Seg_reuse] otherwise; a correct child refuses a reuse
+      or task key naming a version it does not hold (Nack → the
+      parent forgets its belief and re-ships).  Invariant: every
+      compute runs against exactly the parent's current versions;
+      terminal states must have completed all rounds. *)
+end

@@ -425,6 +425,26 @@ let test_seeded_run_reproducible () =
       check_bool "still correct" true (t1 = expected_sum);
       check_bool "nonzero recovery activity" true (r1.Cluster.retries > 0))
 
+let test_encode_once_under_drops () =
+  (* The retry loop re-sends cached bytes: even when injected drops
+     force several delivery attempts per node, each (node, slice) pair
+     is serialized exactly once.  Re-encoding inside the retry loop was
+     a real regression — this pins the hoisted serialization. *)
+  with_pool 2 (fun pool ->
+      let faults =
+        fast ~seed:21
+          ~faults_of:(function
+            | Fault.To_node _ -> { Fault.no_faults with drop = 0.5 }
+            | Fault.From_node _ -> Fault.no_faults)
+          ()
+      in
+      Stats.reset_encode_count ();
+      let total, r = sum_run ~faults pool 4 in
+      Alcotest.(check (float 1e-9)) "sum survives the drops" expected_sum total;
+      check_bool "drops actually forced retries" true (r.Cluster.retries > 0);
+      check_int "each (node, slice) encoded exactly once" 4
+        (Stats.encode_count ()))
+
 let prop_faulty_sum_correct =
   qtest ~count:15 "random seeds: faulty run = fault-free result"
     QCheck2.Gen.(int_bound 10_000)
@@ -572,6 +592,8 @@ let () =
             test_merge_worker_order_under_faults;
           Alcotest.test_case "seeded run reproducible" `Quick
             test_seeded_run_reproducible;
+          Alcotest.test_case "encode once under drops" `Quick
+            test_encode_once_under_drops;
           prop_faulty_sum_correct;
         ] );
       ( "kernels-under-faults",

@@ -332,6 +332,34 @@ let test_bench_compare_slowdown () =
     (List.length
        (BC.compare_rows ~threshold:0.05 old_rows (scaled 1.10)).BC.regressions)
 
+(* Rows with no usable baseline are "added", never regressions and
+   never a failure: a brand-new bench family's first run under
+   [bench --compare] must pass while still being visible in the
+   report.  A non-positive baseline value (a zeroed or botched old
+   row) counts as no-baseline too — no ratio can be formed from it. *)
+let test_bench_compare_added_rows () =
+  let old_rows =
+    [ { BC.name = "a"; ns_per_run = 100.0 };
+      { BC.name = "zeroed"; ns_per_run = 0.0 };
+      { BC.name = "negative"; ns_per_run = -5.0 } ]
+  in
+  let new_rows =
+    [ { BC.name = "a"; ns_per_run = 100.0 };
+      { BC.name = "zeroed"; ns_per_run = 50.0 };
+      { BC.name = "negative"; ns_per_run = 50.0 };
+      { BC.name = "brand-new"; ns_per_run = 1.0 } ]
+  in
+  let r = BC.compare_rows old_rows new_rows in
+  check_int "only the usable baseline row is compared" 1
+    (List.length r.BC.deltas);
+  check_int "added rows are never regressions" 0
+    (List.length r.BC.regressions);
+  Alcotest.(check (list string))
+    "absent and non-positive baselines all land in only_new"
+    [ "zeroed"; "negative"; "brand-new" ]
+    r.BC.only_new;
+  check_int "nothing dropped from old" 0 (List.length r.BC.only_old)
+
 let test_bench_compare_json_shapes () =
   let family =
     {|{"family":"dot","wall_ns":1,"rows":[{"name":"a","ns_per_run":100.0},{"name":"c","ns_per_run":5.0}]}|}
@@ -395,6 +423,8 @@ let () =
         [
           Alcotest.test_case "synthetic slowdowns gate" `Quick
             test_bench_compare_slowdown;
+          Alcotest.test_case "added rows are not failures" `Quick
+            test_bench_compare_added_rows;
           Alcotest.test_case "both file shapes" `Quick
             test_bench_compare_json_shapes;
         ] );
