@@ -24,8 +24,7 @@ module Codec = Triolet_base.Codec
 let () = Triolet_runtime.Pool.set_default_width 2
 
 let () =
-  Config.set_cluster
-    { Triolet_runtime.Cluster.nodes = 4; cores_per_node = 2; flat = false }
+  Exec.set_ambient (Exec.make ~nodes:(4) ~cores_per_node:(2) ())
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmark definitions                                         *)
@@ -124,59 +123,22 @@ let bench_histogram =
       Test.make ~name:"eden-list" (Staged.stage list);
     ]
 
-(* Figure 3 in micro form: the three styles of each kernel on small
-   instances (the measured full-size table is printed below). *)
+(* Figure 3 in micro form: the three styles of each kernel on tiny
+   registry instances (the measured full-size table is printed below).
+   Iterating the registry keeps this list in lockstep with the CLI and
+   the analyzer — a kernel registered once shows up everywhere. *)
 let bench_kernels =
-  let mriq_d = Kern.Dataset.mriq ~seed:5 ~samples:96 ~voxels:128 in
-  let a, b = Kern.Dataset.sgemm_matrices ~seed:6 ~m:48 ~k:48 ~n:48 in
-  let tp = Kern.Dataset.tpacf ~seed:7 ~points:96 ~random_sets:1 in
-  let cc =
-    Kern.Dataset.cutcp ~seed:8 ~atoms:96 ~nx:16 ~ny:16 ~nz:16 ~spacing:0.5
-      ~cutoff:2.0
-  in
   Test.make_grouped ~name:"kernels"
-    [
-      Test.make_grouped ~name:"mri-q"
-        [
-          Test.make ~name:"c" (Staged.stage (fun () -> Kern.Mriq.run_c mriq_d));
-          Test.make ~name:"triolet"
-            (Staged.stage (fun () ->
-                 Kern.Mriq.run_triolet ~hint:Iter.sequential mriq_d));
-          Test.make ~name:"eden"
-            (Staged.stage (fun () -> Kern.Mriq.run_eden mriq_d));
-        ];
-      Test.make_grouped ~name:"sgemm"
-        [
-          Test.make ~name:"c" (Staged.stage (fun () -> Kern.Sgemm.run_c a b));
-          Test.make ~name:"triolet"
-            (Staged.stage (fun () ->
-                 Kern.Sgemm.run_triolet ~hint:Iter2.sequential a b));
-          Test.make ~name:"eden"
-            (Staged.stage (fun () -> Kern.Sgemm.run_eden a b));
-        ];
-      Test.make_grouped ~name:"tpacf"
-        [
-          Test.make ~name:"c"
-            (Staged.stage (fun () -> Kern.Tpacf.run_c ~bins:16 tp));
-          Test.make ~name:"triolet"
-            (Staged.stage (fun () ->
-                 Config.with_cluster
-                   { Triolet_runtime.Cluster.nodes = 1; cores_per_node = 1;
-                     flat = false }
-                   (fun () -> Kern.Tpacf.run_triolet ~bins:16 tp)));
-          Test.make ~name:"eden"
-            (Staged.stage (fun () -> Kern.Tpacf.run_eden ~bins:16 tp));
-        ];
-      Test.make_grouped ~name:"cutcp"
-        [
-          Test.make ~name:"c" (Staged.stage (fun () -> Kern.Cutcp.run_c cc));
-          Test.make ~name:"triolet"
-            (Staged.stage (fun () ->
-                 Kern.Cutcp.run_triolet ~hint:Iter.sequential cc));
-          Test.make ~name:"eden"
-            (Staged.stage (fun () -> Kern.Cutcp.run_eden cc));
-        ];
-    ]
+    (List.map
+       (fun (module K : Kern.Kernel.S) ->
+         let inst = K.instance ~size:"tiny" () in
+         Test.make_grouped ~name:K.name
+           [
+             Test.make ~name:"c" (Staged.stage inst.Kern.Kernel.run_ref);
+             Test.make ~name:"triolet" (Staged.stage inst.Kern.Kernel.run_seq);
+             Test.make ~name:"eden" (Staged.stage inst.Kern.Kernel.run_eden);
+           ])
+       (Kern.Kernel.all ()))
 
 (* Zip fusion: the zip3 pipeline against hand-zipped loops. *)
 let bench_zip =

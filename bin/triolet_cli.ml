@@ -261,9 +261,9 @@ let faults_cmd =
   let run nodes cores backend rate seed verbose =
     setup_logs verbose;
     apply_backend backend;
-    Triolet.Config.set_cluster
-      { Cluster.nodes; cores_per_node = cores; flat = false };
-    let module D = Triolet_kernels.Dataset in
+    Triolet.Exec.set_ambient
+      (Triolet.Exec.make ~nodes ~cores_per_node:cores ());
+    let module Kern = Triolet_kernels.Kernel in
     let module Table = Triolet_harness.Table in
     let crash_node = min 1 (nodes - 1) in
     (* Retry timeouts sized for the transport: the in-process mailbox
@@ -291,39 +291,19 @@ let faults_cmd =
             ~stragglers:[ 0 ] () );
       ]
     in
+    (* Every registered kernel at its tiny size class.  The first
+       [check] call runs fault-free and pins the reference result; the
+       scenario loop below re-runs under injected faults and compares.
+       (cutcp merges float histograms in pool completion order, so its
+       registry checker compares with the kernel's standard tolerance
+       instead of exact equality.) *)
     let kernels =
-      [
-        ( "mri-q",
-          let d = D.mriq ~seed:11 ~samples:64 ~voxels:192 in
-          let reference = Triolet_kernels.Mriq.run_triolet d in
-          fun () ->
-            Triolet_kernels.Mriq.agrees ~eps:0.0 reference
-              (Triolet_kernels.Mriq.run_triolet d) );
-        ( "sgemm",
-          let a, b = D.sgemm_matrices ~seed:21 ~m:24 ~k:18 ~n:20 in
-          let reference = Triolet_kernels.Sgemm.run_triolet a b in
-          fun () ->
-            Triolet_kernels.Sgemm.agrees ~eps:0.0 reference
-              (Triolet_kernels.Sgemm.run_triolet a b) );
-        ( "tpacf",
-          let d = D.tpacf ~seed:31 ~points:48 ~random_sets:4 in
-          let reference = Triolet_kernels.Tpacf.run_triolet ~bins:16 d in
-          fun () ->
-            Triolet_kernels.Tpacf.agrees reference
-              (Triolet_kernels.Tpacf.run_triolet ~bins:16 d) );
-        (* cutcp merges float histograms in pool completion order, so
-           even fault-free runs differ in the last ulp: use the
-           kernel's standard tolerance instead of exact equality. *)
-        ( "cutcp",
-          let d =
-            D.cutcp ~seed:41 ~atoms:48 ~nx:10 ~ny:10 ~nz:10 ~spacing:0.5
-              ~cutoff:1.5
-          in
-          let reference = Triolet_kernels.Cutcp.run_triolet d in
-          fun () ->
-            Triolet_kernels.Cutcp.agrees ~eps:1e-9 reference
-              (Triolet_kernels.Cutcp.run_triolet d) );
-      ]
+      List.map
+        (fun (module K : Kern.S) ->
+          let inst = K.instance ~size:"tiny" () in
+          ignore (inst.Kern.check ());
+          (K.name, fun () -> inst.Kern.check ()))
+        (Kern.all ())
     in
     let rows = ref [] in
     let all_ok = ref true in
@@ -333,7 +313,9 @@ let faults_cmd =
           (fun (sname, spec) ->
             let ok, delta =
               Stats.measure (fun () ->
-                  Triolet.Config.with_faults spec check)
+                  Triolet.Exec.with_context
+                    (Triolet.Exec.make ~faults:(Some spec) ())
+                    (fun () -> check ()))
             in
             if not ok then all_ok := false;
             rows :=
@@ -384,20 +366,26 @@ let demo_cmd =
       =
     setup_logs verbose;
     apply_backend backend;
-    Triolet.Config.set_cluster { Cluster.nodes; cores_per_node = cores; flat };
+    Triolet.Exec.set_ambient
+      (Triolet.Exec.make ~nodes ~cores_per_node:cores
+         ~backend:(if flat then Cluster.Flat else backend)
+         ());
     if faults then begin
       let base_timeout, max_timeout =
         match backend with
         | Cluster.Process -> (Some 0.1, Some 1.0)
         | Cluster.Inprocess | Cluster.Flat -> (None, None)
       in
-      Triolet.Config.set_faults
-        (Some
-           (Fault.spec ?base_timeout ?max_timeout ~seed:fault_seed
+      Triolet.Exec.set_ambient
+        (Triolet.Exec.make
+           ~faults:
+             (Some
+                (Fault.spec ?base_timeout ?max_timeout ~seed:fault_seed
               ~drop:fault_rate ~duplicate:fault_rate ~corrupt:fault_rate
               ~delay:fault_rate
-              ~crash:(min 1 (nodes - 1), Fault.During_work)
-              ()))
+                   ~crash:(min 1 (nodes - 1), Fault.During_work)
+                   ()))
+           ())
     end;
     let n = 1_000_000 in
     let xs = Float.Array.init n (fun i -> float_of_int (i mod 1000) /. 1000.0) in
@@ -457,7 +445,7 @@ let demo_cmd =
           "cluster phase coverage: %.1f%% of %.2f ms wall\n"
           (100.0 *. float_of_int covered /. float_of_int wall_ns)
           (float_of_int wall_ns /. 1e6));
-    Triolet.Config.set_faults None;
+    Triolet.Exec.set_ambient (Triolet.Exec.make ~faults:None ());
     0
   in
   let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster nodes.") in
@@ -541,29 +529,24 @@ let bench_cmd =
 let analyze_cmd =
   let run nodes cores root locks protocol dot_file verbose =
     setup_logs verbose;
-    Triolet.Config.set_cluster
-      { Cluster.nodes; cores_per_node = cores; flat = false };
-    let module D = Triolet_kernels.Dataset in
+    Triolet.Exec.set_ambient
+      (Triolet.Exec.make ~nodes ~cores_per_node:cores ());
+    let module Kern = Triolet_kernels.Kernel in
     let module Plan = Triolet_analysis.Plan in
     let module Passes = Triolet_analysis.Passes in
+    (* One plan per registered analyzer hook, reified at the tiny size
+       class — registry iteration, no per-kernel match arms. *)
     let plans =
-      [
-        Plan.of_iter ~name:"mri-q"
-          (Triolet_kernels.Mriq.pipeline
-             (D.mriq ~seed:11 ~samples:32 ~voxels:64));
-        (let a, b = D.sgemm_matrices ~seed:21 ~m:12 ~k:8 ~n:10 in
-         Plan.of_iter2 ~name:"sgemm" (Triolet_kernels.Sgemm.pipeline a b));
-        (let d = D.tpacf ~seed:31 ~points:24 ~random_sets:3 in
-         Plan.of_iter ~name:"tpacf-dd"
-           (Triolet_kernels.Tpacf.dd_pipeline ~bins:8 d));
-        (let d = D.tpacf ~seed:31 ~points:24 ~random_sets:3 in
-         Plan.of_iter ~name:"tpacf-rr"
-           (Triolet_kernels.Tpacf.rr_pipeline ~bins:8 d));
-        Plan.of_iter ~name:"cutcp"
-          (Triolet_kernels.Cutcp.pipeline
-             (D.cutcp ~seed:41 ~atoms:24 ~nx:8 ~ny:8 ~nz:8 ~spacing:0.5
-                ~cutoff:1.5));
-      ]
+      List.concat_map
+        (fun (module K : Kern.S) ->
+          let inst = K.instance ~size:"tiny" () in
+          List.map
+            (fun (pname, pipe) ->
+              match pipe with
+              | Kern.Pipe_1d it -> Plan.of_iter ~name:pname it
+              | Kern.Pipe_2d it -> Plan.of_iter2 ~name:pname it)
+            (inst.Kern.pipelines ()))
+        (Kern.all ())
     in
     print_endline "== plans ==";
     List.iter (fun p -> print_endline (Plan.to_string p)) plans;
@@ -891,6 +874,239 @@ let serve_cmd =
           $ slices $ deadline $ kill_every $ heartbeat_loss $ fault_seed_arg
           $ verbose_arg)
 
+(* ---- Cost-model-driven auto-mapper ---- *)
+
+let autotune_cmd =
+  let module Tune = Triolet_tune.Tune in
+  let module Kern = Triolet_kernels.Kernel in
+  let module Mapping = Triolet.Mapping in
+  let module Table = Triolet_harness.Table in
+  let module Json = Triolet_obs.Json in
+  let print_ranked ~top scores =
+    let rows =
+      List.filteri (fun i _ -> i < top) scores
+      |> List.map (fun s ->
+             let c = s.Tune.cand in
+             [
+               string_of_int c.Tune.nodes;
+               string_of_int c.Tune.cores_per_node;
+               Cluster.backend_to_string c.Tune.backend;
+               (match c.Tune.grain with
+               | None -> "auto"
+               | Some g -> string_of_int g);
+               string_of_int c.Tune.chunk_multiplier;
+               Table.seconds s.Tune.host_s;
+               Table.seconds s.Tune.cluster_s;
+             ])
+    in
+    Table.print
+      ([ "nodes"; "cores"; "backend"; "grain"; "chunk_x"; "pred host";
+         "pred cluster" ]
+      :: rows)
+  in
+  let score_json s =
+    let c = s.Tune.cand in
+    Json.Obj
+      [
+        ("nodes", Json.Num (float_of_int c.Tune.nodes));
+        ("cores_per_node", Json.Num (float_of_int c.Tune.cores_per_node));
+        ("backend", Json.Str (Cluster.backend_to_string c.Tune.backend));
+        ( "grain",
+          match c.Tune.grain with
+          | None -> Json.Null
+          | Some g -> Json.Num (float_of_int g) );
+        ( "chunk_multiplier",
+          Json.Num (float_of_int c.Tune.chunk_multiplier) );
+        ("predicted_host_s", Json.Num s.Tune.host_s);
+        ("predicted_cluster_s", Json.Num s.Tune.cluster_s);
+      ]
+  in
+  let run check out kernel size objective top table reps no_validate verbose =
+    setup_logs verbose;
+    if check then begin
+      match Mapping.load out with
+      | Error msg ->
+          Printf.eprintf "autotune --check: cannot read %s: %s\n%!" out msg;
+          2
+      | Ok file -> (
+          match Tune.check file with
+          | Tune.Check_ok ->
+              Printf.printf
+                "autotune --check: %s ok (%d entries, objective %s)\n" out
+                (List.length file.Mapping.entries)
+                file.Mapping.objective;
+              0
+          | Tune.Check_drift issues ->
+              Printf.eprintf
+                "autotune --check: %s has drifted from the current \
+                 registry/model:\n"
+                out;
+              List.iter (fun i -> Printf.eprintf "  - %s\n" i) issues;
+              Printf.eprintf "re-run `triolet autotune` to regenerate it\n%!";
+              1)
+    end
+    else begin
+      (* Tuning measures at explicit contexts; installing the current
+         context as explicit ambient keeps any already-checked-in
+         mapping file from steering the very runs that regenerate it. *)
+      Triolet.Exec.set_ambient (Triolet.Exec.current ());
+      let selected =
+        match kernel with
+        | None -> Kern.all ()
+        | Some k -> (
+            match Kern.find k with
+            | Some m -> [ m ]
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "autotune: unknown kernel %S (valid: %s)" k
+                     (String.concat ", " (Kern.names ()))))
+      in
+      Printf.printf "measuring machine rates...\n%!";
+      let rates = Triolet_kernels.Models.measure_rates () in
+      let results =
+        List.map
+          (fun (module K : Kern.S) ->
+            let size = Option.value size ~default:K.default_size in
+            let inst = K.instance ~size () in
+            Printf.printf "\ntuning %s/%s (%d work units)...\n%!" K.name size
+              inst.Kern.work_units;
+            let entry, ranked =
+              Tune.tune_instance ~objective ~reps ~validate:(not no_validate)
+                ~rates inst
+            in
+            print_ranked ~top ranked;
+            (match (entry.Mapping.measured_s, entry.Mapping.delta) with
+            | Some m, Some d ->
+                Printf.printf
+                  "%s/%s: predicted %s, measured %s (delta %.1f%%)\n%!" K.name
+                  size
+                  (Table.seconds entry.Mapping.predicted_s)
+                  (Table.seconds m) (100.0 *. d)
+            | _ ->
+                Printf.printf "%s/%s: predicted %s (not validated)\n%!" K.name
+                  size
+                  (Table.seconds entry.Mapping.predicted_s));
+            (entry, (K.name, size, ranked)))
+          selected
+      in
+      let file =
+        {
+          Mapping.version = Mapping.schema_version;
+          objective = Tune.objective_to_string objective;
+          host_cores = Tune.default_host_cores ();
+          rates = Tune.rates_to_assoc rates;
+          entries = List.map fst results;
+        }
+      in
+      Mapping.save out file;
+      Printf.printf "\nwrote %s (%d entries)\n" out (List.length file.entries);
+      (match table with
+      | None -> ()
+      | Some path ->
+          let tables =
+            Json.Arr
+              (List.map
+                 (fun (_, (k, size, ranked)) ->
+                   Json.Obj
+                     [
+                       ("kernel", Json.Str k);
+                       ("size", Json.Str size);
+                       ("ranked", Json.Arr (List.map score_json ranked));
+                     ])
+                 results)
+          in
+          Json.to_file path tables;
+          Printf.printf "wrote ranked-candidates table to %s\n" path);
+      let worst =
+        List.fold_left
+          (fun acc (e, _) ->
+            match e.Mapping.delta with Some d -> max acc d | None -> acc)
+          0.0 results
+      in
+      if worst > 0.25 then
+        Printf.eprintf
+          "warning: worst predicted-vs-measured delta %.1f%% exceeds 25%%\n%!"
+          (100.0 *. worst);
+      0
+    end
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-validate the mapping file against the current kernel \
+             registry and simulator without re-measuring (exit 1 on drift, \
+             2 if the file is unreadable or has a mismatched schema).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "tune/MAPPINGS.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Mapping file to write (or to read with $(b,--check)).")
+  in
+  let kernel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel" ] ~docv:"K"
+          ~doc:"Tune only this kernel (default: every registered kernel).")
+  in
+  let size =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "size" ] ~docv:"S"
+          ~doc:
+            "Size class to tune at (default: each kernel's default size \
+             class).")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt (enum [ ("host", Tune.Host); ("cluster", Tune.Cluster) ]) Tune.Host
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:
+            "Ranking objective: $(b,host) ranks by makespan projected onto \
+             this machine (validatable), $(b,cluster) by the abstract \
+             simulated cluster makespan.")
+  in
+  let top =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"N" ~doc:"Show the N best candidates per kernel.")
+  in
+  let table =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "table" ] ~docv:"FILE"
+          ~doc:"Also write the full ranked-candidates tables as JSON.")
+  in
+  let reps =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"R" ~doc:"Best-of-R timing repetitions.")
+  in
+  let no_validate =
+    Arg.(
+      value & flag
+      & info [ "no-validate" ]
+          ~doc:
+            "Skip the measured run at the winning context (faster; the \
+             mapping records no delta).")
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:
+         "Search execution contexts per kernel with the calibrated cost \
+          model, validate the winner against a real run, and write the \
+          mapping file that run_triolet consults by default")
+    Term.(
+      const run $ check_flag $ out $ kernel $ size $ objective $ top $ table
+      $ reps $ no_validate $ verbose_arg)
+
 let () =
   let info =
     Cmd.info "triolet" ~version:"1.0.0"
@@ -902,4 +1118,5 @@ let () =
           [
             fig_cmd; summary_cmd; ablation_cmd; all_cmd; verify_cmd; demo_cmd;
             sim_cmd; faults_cmd; analyze_cmd; bench_cmd; serve_cmd;
+            autotune_cmd;
           ]))

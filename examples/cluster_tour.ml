@@ -40,7 +40,10 @@ let () =
   run "localpar (work stealing)" Iter.localpar;
   List.iter
     (fun (nodes, cores, flat) ->
-      Config.set_cluster { Cluster.nodes; cores_per_node = cores; flat };
+      Exec.set_ambient
+        (Exec.make ~nodes ~cores_per_node:cores
+           ~backend:(if flat then Cluster.Flat else (Exec.default ()).Exec.backend)
+           ());
       let name =
         Printf.sprintf "par %dx%d %s" nodes cores
           (if flat then "flat" else "two-level")

@@ -16,7 +16,7 @@ open Seq_iter.Let_syntax
 module Cluster = Triolet_runtime.Cluster
 
 let () =
-  Config.set_cluster { Cluster.nodes = 4; cores_per_node = 2; flat = false }
+  Exec.set_ambient (Exec.make ~nodes:(4) ~cores_per_node:(2) ())
 
 (* Pythagorean triples with hypotenuse < n, as a triangular triple nest:
    [ (a,b,c) | c <- [1..n), b <- [1..c], a <- [1..b], a^2+b^2 = c^2 ] *)

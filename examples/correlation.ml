@@ -15,7 +15,7 @@ module Cluster = Triolet_runtime.Cluster
 let bins = 16
 
 let () =
-  Config.set_cluster { Cluster.nodes = 3; cores_per_node = 2; flat = false };
+  Exec.set_ambient (Exec.make ~nodes:(3) ~cores_per_node:(2) ());
   let data = Dataset.tpacf ~seed:7 ~points:300 ~random_sets:4 in
 
   let { Tpacf.dd; dr; rr } = Tpacf.run_triolet ~bins data in

@@ -12,7 +12,7 @@ module Cluster = Triolet_runtime.Cluster
 module Stats = Triolet_runtime.Stats
 
 let () =
-  Config.set_cluster { Cluster.nodes = 4; cores_per_node = 2; flat = false };
+  Exec.set_ambient (Exec.make ~nodes:(4) ~cores_per_node:(2) ());
   let n = 128 in
   let rng = Triolet_base.Rng.create 2024 in
   let a = Matrix.random rng n n (-1.0) 1.0 in

@@ -17,7 +17,7 @@ open Triolet_kernels
 module Cluster = Triolet_runtime.Cluster
 
 let () =
-  Config.set_cluster { Cluster.nodes = 4; cores_per_node = 2; flat = false };
+  Exec.set_ambient (Exec.make ~nodes:(4) ~cores_per_node:(2) ());
   let box =
     Dataset.cutcp ~seed:99 ~atoms:400 ~nx:24 ~ny:24 ~nz:24 ~spacing:0.5
       ~cutoff:2.5

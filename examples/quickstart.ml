@@ -12,7 +12,7 @@ module Cluster = Triolet_runtime.Cluster
 
 let () =
   (* Configure the simulated cluster the [par] hint runs on. *)
-  Config.set_cluster { Cluster.nodes = 4; cores_per_node = 2; flat = false }
+  Exec.set_ambient (Exec.make ~nodes:(4) ~cores_per_node:(2) ())
 
 (* 1. Dot product — the paper's introductory example:
        def dot(xs, ys):

@@ -10,8 +10,8 @@
     - [serialization]: distributed tasks whose payload extraction
       raises (boxed source without a codec) — [Error]; element-encoded
       [Raw] payloads — [Info];
-    - [grain_advisory]: a [Config.grain_size] override coarse enough to
-      starve the pool — [Warning]; auto grains never warn. *)
+    - [grain_advisory]: an ambient-context grain override coarse enough
+      to starve the pool — [Warning]; auto grains never warn. *)
 
 type severity = Info | Warning | Error
 

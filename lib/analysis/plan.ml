@@ -3,7 +3,7 @@
     [of_iter]/[of_iter2] interrogate an iterator pipeline *without
     running a consumer* and produce a [t]: the loop-nest shape the tasks
     will execute, the partition strategy the skeleton dispatch would
-    choose under the current {!Triolet.Config} cluster geometry, the
+    choose under the ambient {!Triolet.Exec} cluster geometry, the
     per-task index slices, and a summary of each task's serialized
     payload.  The verification passes in {!Passes} then audit the plan
     instead of the opaque closures. *)
@@ -41,8 +41,9 @@ type partition =
   | Whole  (** one task over the whole space (sequential execution) *)
   | Dynamic_ranges of { grain : int; overridden : bool }
       (** lazy-splitting scheduler over contiguous ranges; [grain] is
-          the effective grain size, [overridden] when it came from
-          [Config.grain_size] rather than {!Triolet_runtime.Partition.grain} *)
+          the effective grain size, [overridden] when it came from the
+          ambient context's [grain] rather than
+          {!Triolet_runtime.Partition.grain} *)
   | Static_blocks of (int * int) array
       (** pre-cut 1-D (offset, length) node blocks *)
   | Static_grid of {
@@ -105,14 +106,10 @@ let probe_payload extract =
 let local_workers () =
   Triolet_runtime.Pool.size (Triolet_runtime.Pool.default ())
 
-let distributed_workers () =
-  let cfg = Config.get_cluster () in
-  if cfg.Triolet_runtime.Cluster.flat then
-    cfg.Triolet_runtime.Cluster.nodes * cfg.Triolet_runtime.Cluster.cores_per_node
-  else cfg.Triolet_runtime.Cluster.nodes
+let distributed_workers () = Exec.worker_count (Exec.current ())
 
 let effective_grain ~workers n =
-  match Config.grain_size () with
+  match (Exec.current ()).Exec.grain with
   | Some g -> (g, true)
   | None -> (Triolet_runtime.Partition.grain ~workers n, false)
 
@@ -183,7 +180,7 @@ let of_iter2 ~name (it : 'a Iter2.t) : t =
         (Dynamic_ranges { grain; overridden }, workers, [ whole ])
     | Iter.Distributed ->
         let workers = distributed_workers () in
-        let nodes = (Config.get_cluster ()).Triolet_runtime.Cluster.nodes in
+        let nodes = (Exec.current ()).Exec.nodes in
         let rp, cp = Triolet_runtime.Partition.square_factors nodes in
         let blocks =
           Triolet_runtime.Partition.grid ~row_parts:rp ~col_parts:cp ~rows

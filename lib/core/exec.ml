@@ -1,18 +1,23 @@
 (** Immutable execution contexts.
 
-    Everything that used to be scattered across mutable globals in
-    {!Config} — cluster geometry, transport backend, fault plan, grain
-    policy — lives in one immutable record, threaded through skeleton
-    consumers as [?ctx].  A context answers *where and how* a skeleton
-    runs, the way an MPI launch configuration does for the paper's
-    runtime; *what* runs stays in the iterator pipeline itself.
+    Cluster geometry, transport backend, fault plan, grain policy —
+    everything that answers *where and how* a skeleton runs lives in one
+    immutable record, threaded through skeleton consumers as [?ctx], the
+    way an MPI launch configuration does for the paper's runtime; *what*
+    runs stays in the iterator pipeline itself.
 
     There is still one ambient context (the default for consumers called
-    without [?ctx], and what the deprecated {!Config} shims manipulate),
-    but it is a stack of whole values, not a bag of independently
-    mutable cells: {!with_context} swaps the entire record and restores
-    it exception-safely, so no combination of nested overrides can leave
-    a half-updated configuration behind. *)
+    without [?ctx]), but it is a stack of whole values, not a bag of
+    independently mutable cells: {!with_context} swaps the entire record
+    and restores it exception-safely, so no combination of nested
+    overrides can leave a half-updated configuration behind.
+
+    Kernels resolve their context through {!for_kernel}, which layers in
+    the checked-in auto-mapping file ({!Mapping}) when the caller has
+    not pinned a context explicitly.  Precedence, strongest first:
+    explicit [?ctx]; an explicitly installed ambient ({!set_ambient} /
+    {!with_context}); the [TRIOLET_BACKEND] environment variable (for
+    the backend field only); the mapping entry; {!default}. *)
 
 module Cluster = Triolet_runtime.Cluster
 module Fault = Triolet_runtime.Fault
@@ -35,21 +40,27 @@ type t = {
 (* The backend can be selected from outside via TRIOLET_BACKEND
    ("inprocess" | "flat" | "process"), which is how `dune runtest` and
    the CLI exercise the whole iterator stack over the process transport
-   without touching call sites.  Unknown values fall back to in-process
-   rather than failing: the variable is an operator knob, not an API. *)
+   without touching call sites.  A value that names no backend fails
+   loudly: a typo ("proces") silently running everything in-process is
+   exactly the kind of mapping bug this layer exists to prevent. *)
 let env_backend () =
   match Sys.getenv_opt "TRIOLET_BACKEND" with
-  | None -> Cluster.Inprocess
+  | None | Some "" -> None
   | Some s -> (
       match Cluster.backend_of_string s with
-      | Some b -> b
-      | None -> Cluster.Inprocess)
+      | Some b -> Some b
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "TRIOLET_BACKEND=%S is not a known backend (valid values: \
+                inprocess, flat, process)"
+               s))
 
 let default () =
   {
     nodes = 4;
     cores_per_node = 2;
-    backend = env_backend ();
+    backend = Option.value (env_backend ()) ~default:Cluster.Inprocess;
     faults = None;
     grain = None;
     chunk_multiplier = 4;
@@ -59,8 +70,13 @@ let default () =
   }
 
 (* Created lazily so the environment is read at first use, after a CLI
-   has had the chance to set it. *)
+   has had the chance to set it.  [ambient_explicit] distinguishes "the
+   ambient is just the materialized default" from "someone deliberately
+   installed a context": the mapping file only applies in the former
+   case, so a test or CLI flag that pins geometry is never second-
+   guessed by a checked-in file. *)
 let ambient : t option ref = ref None
+let ambient_explicit = ref false
 
 let current () =
   match !ambient with
@@ -70,12 +86,19 @@ let current () =
       ambient := Some c;
       c
 
-let set_ambient c = ambient := Some c
+let set_ambient c =
+  ambient := Some c;
+  ambient_explicit := true
 
 let with_context c f =
-  let old = !ambient in
+  let old = !ambient and old_explicit = !ambient_explicit in
   ambient := Some c;
-  Fun.protect ~finally:(fun () -> ambient := old) f
+  ambient_explicit := true;
+  Fun.protect
+    ~finally:(fun () ->
+      ambient := old;
+      ambient_explicit := old_explicit)
+    f
 
 let resolve = function Some c -> c | None -> current ()
 
@@ -110,30 +133,34 @@ let topology c =
 
 let worker_count c = Cluster.topology_workers (topology c)
 
-(* Bridges for the deprecated Config API, which still speaks the legacy
-   {nodes; cores_per_node; flat} record. *)
-
-let of_cluster_config base (c : Cluster.config) =
-  {
-    base with
-    nodes = c.Cluster.nodes;
-    cores_per_node = c.Cluster.cores_per_node;
-    backend =
-      (if c.Cluster.flat then Cluster.Flat
-       else
-         (* [flat = false] means "the normal two-level view", not "the
-            mailbox transport": keep the current non-flat backend (so an
-            environment-selected process transport survives legacy
-            [set_cluster] calls), falling back out of Flat to the
-            environment default. *)
-         match base.backend with
-         | Cluster.Flat -> env_backend ()
-         | b -> b);
-  }
-
-let to_cluster_config c =
-  {
-    Cluster.nodes = c.nodes;
-    cores_per_node = c.cores_per_node;
-    flat = (c.backend = Cluster.Flat);
-  }
+(* Context for one kernel invocation: the auto-mapping hook.  Only
+   consulted when nothing stronger pinned a context — see the module
+   comment for the full precedence chain. *)
+let for_kernel ?ctx ~kernel ~size () =
+  match ctx with
+  | Some c -> c
+  | None when !ambient_explicit -> current ()
+  | None -> (
+      match Mapping.loaded () with
+      | None -> current ()
+      | Some file -> (
+          match Mapping.lookup file ~kernel ~size with
+          | None -> current ()
+          | Some e ->
+              let base = current () in
+              let backend =
+                match env_backend () with
+                | Some b -> b
+                | None -> (
+                    match Cluster.backend_of_string e.Mapping.backend with
+                    | Some b -> b
+                    | None -> base.backend)
+              in
+              {
+                base with
+                nodes = max 1 e.Mapping.nodes;
+                cores_per_node = max 1 e.Mapping.cores_per_node;
+                backend;
+                grain = e.Mapping.grain;
+                chunk_multiplier = max 1 e.Mapping.chunk_multiplier;
+              }))

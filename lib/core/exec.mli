@@ -1,9 +1,12 @@
 (** Immutable execution contexts: where and how skeletons run.
 
-    One record carries what used to live in {!Config}'s mutable globals:
-    cluster geometry, transport {!Triolet_runtime.Cluster.backend},
-    fault plan and grain policy.  Iterator consumers and skeletons take
-    it as [?ctx]; omitted, they use the ambient context. *)
+    One record carries cluster geometry, transport
+    {!Triolet_runtime.Cluster.backend}, fault plan and grain policy.
+    Iterator consumers and skeletons take it as [?ctx]; omitted, they
+    use the ambient context.  Kernel entry points resolve through
+    {!for_kernel}, which also consults the checked-in auto-mapping file
+    ({!Mapping}) — precedence [?ctx] > explicit ambient > environment >
+    mapping > {!default}. *)
 
 type t = {
   nodes : int;  (** simulated cluster nodes *)
@@ -30,7 +33,8 @@ val default : unit -> t
 (** 4 nodes x 2 cores, no faults, automatic grain, multiplier 4, no
     deadline, queue bound 64, 10 ms poll.  The backend honours the
     [TRIOLET_BACKEND] environment variable (["inprocess"] | ["flat"] |
-    ["process"]; unknown values mean in-process). *)
+    ["process"]); any other non-empty value raises [Invalid_argument]
+    naming the valid choices. *)
 
 val make :
   ?nodes:int ->
@@ -52,16 +56,24 @@ val current : unit -> t
 (** The ambient context (created from {!default} on first use). *)
 
 val set_ambient : t -> unit
-(** Replace the ambient context — what the deprecated [Config] setters
-    compile down to. *)
+(** Replace the ambient context.  This marks the ambient as explicitly
+    chosen, so {!for_kernel} stops consulting the mapping file. *)
 
 val with_context : t -> (unit -> 'a) -> 'a
 (** Run the thunk with the given ambient context, restoring the previous
-    one afterwards (exception-safe, nestable). *)
+    one (and its explicitness) afterwards — exception-safe, nestable. *)
 
 val resolve : t option -> t
 (** [resolve ctx] is [ctx]'s value, or {!current} when [None] — the
     one-liner every [?ctx] consumer starts with. *)
+
+val for_kernel : ?ctx:t -> kernel:string -> size:string -> unit -> t
+(** The context a kernel's [run_triolet] should execute under.  An
+    explicit [?ctx] wins; otherwise an explicitly installed ambient
+    ({!set_ambient} / {!with_context}) wins; otherwise the checked-in
+    mapping entry for [(kernel, size)] — with [TRIOLET_BACKEND] still
+    overriding the mapped backend — overlaid on {!default}; otherwise
+    just {!current}. *)
 
 val topology : t -> Triolet_runtime.Cluster.topology
 (** The geometry + backend a [Cluster.run_topology] call needs. *)
@@ -69,19 +81,7 @@ val topology : t -> Triolet_runtime.Cluster.topology
 val worker_count : t -> int
 (** Logical distributed workers this context fans out to. *)
 
-val env_backend : unit -> Triolet_runtime.Cluster.backend
-(** The backend selected by [TRIOLET_BACKEND] (in-process when unset or
-    unrecognized). *)
-
-(** {1 Legacy bridges}
-
-    Conversions for the deprecated [Config] record API. *)
-
-val of_cluster_config : t -> Triolet_runtime.Cluster.config -> t
-(** [of_cluster_config base c] rebuilds [base] with [c]'s geometry;
-    [flat = true] selects the [Flat] backend, [flat = false] keeps
-    [base]'s non-flat backend (falling back to {!env_backend} when
-    [base] was flat). *)
-
-val to_cluster_config : t -> Triolet_runtime.Cluster.config
-(** Forgets everything but geometry; [flat] is [backend = Flat]. *)
+val env_backend : unit -> Triolet_runtime.Cluster.backend option
+(** The backend selected by [TRIOLET_BACKEND]; [None] when unset or
+    empty.  Raises [Invalid_argument] (listing the valid values) on an
+    unrecognized value — a typo must not silently run in-process. *)

@@ -10,8 +10,7 @@
 
     Every skeleton takes an optional execution context [?ctx]
     ({!Exec.t}): geometry, transport backend, fault plan and grain
-    policy.  Omitted, the ambient context applies — which is how the
-    deprecated [Config] setters still steer everything. *)
+    policy.  Omitted, the ambient context applies. *)
 
 module Pool = Triolet_runtime.Pool
 module Cluster = Triolet_runtime.Cluster

@@ -67,10 +67,8 @@ let run_fig3 ?(scale = 1.0) () =
     let rc, c_time = time (fun () -> Tpacf.run_c ~bins d) in
     let rt, triolet_time =
       time (fun () ->
-          Triolet.Config.with_cluster
-            { (Triolet.Config.get_cluster ()) with
-              Triolet_runtime.Cluster.nodes = 1;
-              cores_per_node = 1 }
+          Triolet.Exec.with_context
+            (Triolet.Exec.make ~nodes:1 ~cores_per_node:1 ())
             (fun () -> Tpacf.run_triolet ~bins d))
     in
     let re, eden_time = time (fun () -> Tpacf.run_eden ~bins d) in

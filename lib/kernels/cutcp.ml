@@ -99,9 +99,16 @@ let pipeline ?(hint = Iter.par) (c : D.cutcp) =
   in
   Iter.concat_map (grid_pts c) (hint atoms)
 
+(* Size taxonomy shared with the auto-mapper: one candidate grid-point
+   visit is the work unit. *)
+let size_class (c : D.cutcp) =
+  let box = int_of_float ((2.0 *. c.D.cutoff /. c.D.spacing) +. 1.0) in
+  Mapping.size_class_of_work (Float.Array.length c.D.ax * box * box * box)
+
 let run_triolet ?ctx ?hint (c : D.cutcp) : floatarray =
+  let ctx = Exec.for_kernel ?ctx ~kernel:"cutcp" ~size:(size_class c) () in
   Triolet_obs.Obs.span ~name:"kernel.cutcp" (fun () ->
-      Iter.scatter_add ?ctx ~size:(D.grid_points c) (pipeline ?hint c))
+      Iter.scatter_add ~ctx ~size:(D.grid_points c) (pipeline ?hint c))
 
 (* ------------------------------------------------------------------ *)
 

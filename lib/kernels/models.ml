@@ -67,12 +67,14 @@ let measure_rates () =
   { mriq_pair_s; sgemm_mac_s; tpacf_pair_s; cutcp_point_s }
 
 (* ------------------------------------------------------------------ *)
-(* mri-q: 64^3 voxels x 4096 samples, chunked 64 voxels per unit.      *)
+(* mri-q: parallel map over voxel chunks of a sequential sum over
+   samples; paper scale is 64^3 voxels x 4096 samples, chunked 64
+   voxels per unit.  Smaller instances shrink the chunk so the unit
+   count stays high enough to decompose. *)
 
-let mriq_model ?(rates = default_rates) () =
-  let voxels = 64 * 64 * 64 and samples = 4096 in
-  let chunk = 64 in
-  let tasks = voxels / chunk in
+let mriq_model_sized ?(rates = default_rates) ~voxels ~samples () =
+  let chunk = max 1 (min 64 (voxels / 64)) in
+  let tasks = max 1 (voxels / chunk) in
   App.make ~name:"mri-q" ~tasks
     ~task_cost:(fun _ ->
       float_of_int (chunk * samples) *. rates.mriq_pair_s)
@@ -83,36 +85,40 @@ let mriq_model ?(rates = default_rates) () =
     ~task_out_bytes:(fun _ -> 2 * 8 * chunk)
     ()
 
-(* ------------------------------------------------------------------ *)
-(* sgemm: 4k x 4k matrices; units are output row bands; the 2-D block
-   decomposition's communication appears as a per-node band of A and
-   B^T whose size depends on the grid shape.                           *)
+let mriq_model ?rates () =
+  mriq_model_sized ?rates ~voxels:(64 * 64 * 64) ~samples:4096 ()
 
-let sgemm_model ?(rates = default_rates) () =
-  let n = 4096 in
-  let tasks = n in
+(* ------------------------------------------------------------------ *)
+(* sgemm: units are output row bands; the 2-D block decomposition's
+   communication appears as a per-node band of A and B^T whose size
+   depends on the grid shape.  Paper scale is 4k x 4k matrices.        *)
+
+let sgemm_model_sized ?(rates = default_rates) ~m ~k ~n () =
+  let tasks = m in
   (* one unit = one output row *)
-  let matrix_bytes = 8 * n * n in
+  let a_bytes = 8 * m * k and b_bytes = 8 * k * n in
   App.make ~name:"sgemm" ~tasks
-    ~task_cost:(fun _ -> float_of_int (n * n) *. rates.sgemm_mac_s)
+    ~task_cost:(fun _ -> float_of_int (k * n) *. rates.sgemm_mac_s)
     ~node_extra_in_bytes:(fun nodes ->
       let rp, cp = Triolet_runtime.Partition.square_factors nodes in
-      (matrix_bytes / rp) + (matrix_bytes / cp))
-    ~whole_in_bytes:(2 * matrix_bytes)
+      (a_bytes / rp) + (b_bytes / cp))
+    ~whole_in_bytes:(a_bytes + b_bytes)
     ~task_out_bytes:(fun _ -> 8 * n)
       (* building the outgoing block messages allocates them afresh in a
          GC'd runtime (the paper attributes 40% of Triolet's overhead at
          8 nodes to exactly this, section 4.3) *)
     ~task_alloc_bytes:(fun _ -> 2 * 8 * n)
-    ~seq_setup_time:(float_of_int (n * n) *. 8.0 *. rates.sgemm_mac_s)
+    ~seq_setup_time:(float_of_int (k * n) *. 8.0 *. rates.sgemm_mac_s)
     ~setup_shared_mem_ok:true ()
 
-(* ------------------------------------------------------------------ *)
-(* tpacf: one observed + 64 random catalogs of 8192 points; units are
-   (catalog, slice) pieces of the DD/DR/RR loops.                      *)
+let sgemm_model ?rates () = sgemm_model_sized ?rates ~m:4096 ~k:4096 ~n:4096 ()
 
-let tpacf_model ?(rates = default_rates) () =
-  let n = 8192 and sets = 64 and bins = 64 in
+(* ------------------------------------------------------------------ *)
+(* tpacf: units are (catalog, slice) pieces of the DD/DR/RR loops;
+   paper scale is one observed + 64 random catalogs of 8192 points.    *)
+
+let tpacf_model_sized ?(rates = default_rates) ~points ~sets ~bins () =
+  let n = points in
   let slices = 16 in
   (* Unit kinds: DD slices, then per set DR slices and RR slices.  Self
      correlations do half the pairs of cross correlations, giving the
@@ -142,19 +148,21 @@ let tpacf_model ?(rates = default_rates) () =
     ~whole_in_bytes:((sets + 1) * catalog_bytes)
     ~node_out_bytes:(8 * bins) ()
 
-(* ------------------------------------------------------------------ *)
-(* cutcp: 400k atoms over a 256^3 grid; units are atom chunks; every
-   worker returns a full copy of the potential grid that the main
-   process must receive and sum — the output-reduction bottleneck that
-   saturates Figure 8 (section 4.5).                                   *)
+let tpacf_model ?rates () =
+  tpacf_model_sized ?rates ~points:8192 ~sets:64 ~bins:64 ()
 
-let cutcp_model ?(rates = default_rates) () =
-  let atoms = 600_000 in
-  let nx = 192 in
-  let grid_bytes = 8 * nx * nx * nx in
-  let chunk = 256 in
-  let tasks = atoms / chunk in
-  let box = 25.0 (* (2*cutoff/spacing + 1) per axis *) in
+(* ------------------------------------------------------------------ *)
+(* cutcp: units are atom chunks; every worker returns a full copy of
+   the potential grid that the main process must receive and sum — the
+   output-reduction bottleneck that saturates Figure 8 (section 4.5).
+   Paper scale is 600k atoms over a 192^3 grid.                        *)
+
+let cutcp_model_sized ?(rates = default_rates) ~atoms ~nx ~ny ~nz ~spacing
+    ~cutoff () =
+  let grid_bytes = 8 * nx * ny * nz in
+  let chunk = max 1 (min 256 (atoms / 16)) in
+  let tasks = max 1 (atoms / chunk) in
+  let box = (2.0 *. cutoff /. spacing) +. 1.0 in
   let points_per_atom = box *. box *. box in
   App.make ~name:"cutcp" ~tasks
     ~task_cost:(fun _ ->
@@ -170,6 +178,10 @@ let cutcp_model ?(rates = default_rates) () =
     ~task_alloc_bytes:(fun _ ->
       int_of_float (float_of_int chunk *. points_per_atom *. 40.0))
     ()
+
+let cutcp_model ?rates () =
+  cutcp_model_sized ?rates ~atoms:600_000 ~nx:192 ~ny:192 ~nz:192 ~spacing:0.5
+    ~cutoff:6.0 ()
 
 let all ?rates () =
   [

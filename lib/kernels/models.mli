@@ -17,6 +17,37 @@ val default_rates : rates
 val measure_rates : unit -> rates
 (** Times the real reference kernels on small instances. *)
 
+(** {1 Size-parameterized models}
+
+    The same cost formulas at arbitrary instance sizes — what the
+    auto-mapper scores candidate contexts against.  The paper-scale
+    functions below are fixed-size instantiations of these. *)
+
+val mriq_model_sized :
+  ?rates:rates -> voxels:int -> samples:int -> unit -> Triolet_sim.App_model.t
+
+val sgemm_model_sized :
+  ?rates:rates -> m:int -> k:int -> n:int -> unit -> Triolet_sim.App_model.t
+
+val tpacf_model_sized :
+  ?rates:rates ->
+  points:int ->
+  sets:int ->
+  bins:int ->
+  unit ->
+  Triolet_sim.App_model.t
+
+val cutcp_model_sized :
+  ?rates:rates ->
+  atoms:int ->
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  spacing:float ->
+  cutoff:float ->
+  unit ->
+  Triolet_sim.App_model.t
+
 val mriq_model : ?rates:rates -> unit -> Triolet_sim.App_model.t
 val sgemm_model : ?rates:rates -> unit -> Triolet_sim.App_model.t
 val tpacf_model : ?rates:rates -> unit -> Triolet_sim.App_model.t

@@ -87,9 +87,16 @@ let pipeline ?(hint = Iter.par) (d : D.mriq) =
   in
   Iter.map voxel_sum (hint voxels)
 
+(* Size taxonomy shared with the auto-mapper: one (voxel, sample)
+   contribution is the work unit. *)
+let size_class (d : D.mriq) =
+  Mapping.size_class_of_work
+    (Float.Array.length d.D.x * Float.Array.length d.D.kx)
+
 let run_triolet ?ctx ?hint (d : D.mriq) : result =
+  let ctx = Exec.for_kernel ?ctx ~kernel:"mri-q" ~size:(size_class d) () in
   Triolet_obs.Obs.span ~name:"kernel.mriq" (fun () ->
-      let qr, qi = Iter.collect_float_pairs ?ctx (pipeline ?hint d) in
+      let qr, qi = Iter.collect_float_pairs ~ctx (pipeline ?hint d) in
       { qr; qi })
 
 (* ------------------------------------------------------------------ *)

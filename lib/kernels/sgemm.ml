@@ -49,9 +49,15 @@ let pipeline ?(alpha = 1.0) ?(hint = Iter2.par) (a : Matrix.t) (b : Matrix.t)
   let zipped_ab = Iter2.outer_product (Iter2.rows a) (Iter2.rows bt) in
   hint (Iter2.map (fun (u, v) -> alpha *. Matrix.view_dot u v) zipped_ab)
 
+(* Size taxonomy shared with the auto-mapper: one multiply-accumulate
+   is the work unit. *)
+let size_class (a : Matrix.t) (b : Matrix.t) =
+  Mapping.size_class_of_work (Matrix.rows a * Matrix.cols a * Matrix.cols b)
+
 let run_triolet ?ctx ?alpha ?hint (a : Matrix.t) (b : Matrix.t) : Matrix.t =
+  let ctx = Exec.for_kernel ?ctx ~kernel:"sgemm" ~size:(size_class a b) () in
   Triolet_obs.Obs.span ~name:"kernel.sgemm" (fun () ->
-      Iter2.build ?ctx (pipeline ?alpha ?hint a b))
+      Iter2.build ~ctx (pipeline ?alpha ?hint a b))
 
 (* Eden-style, following the paper's Eden code: arrays are kept "in
    chunked form" — boxed lists of unboxed row vectors — so tasks can be

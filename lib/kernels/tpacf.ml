@@ -150,7 +150,15 @@ let dd_pipeline ~bins (d : D.tpacf) =
 let rr_pipeline ~bins (d : D.tpacf) =
   random_sets_pipeline (fun r -> correlation ~bins (self_pairs r)) d.D.randoms
 
+(* Size taxonomy shared with the auto-mapper: one point-pair score is
+   the work unit (DD does n^2/2 pairs, each of the [sets] DR and RR
+   passes n^2 and n^2/2). *)
+let size_class (d : D.tpacf) =
+  let n = D.catalog_size d.D.observed and sets = Array.length d.D.randoms in
+  Mapping.size_class_of_work (n * n * ((2 * sets) + 1) / 2)
+
 let run_triolet ?ctx ~bins (d : D.tpacf) : result =
+  let ctx = Exec.for_kernel ?ctx ~kernel:"tpacf" ~size:(size_class d) () in
   let module Obs = Triolet_obs.Obs in
   (* One span per pipeline stage: DD is the shared-memory triangular
      loop; DR and RR are distributed reductions over random sets.  The
@@ -159,17 +167,17 @@ let run_triolet ?ctx ~bins (d : D.tpacf) : result =
      they take no [?ctx]. *)
   let dd =
     Obs.span ~name:"kernel.tpacf.dd" (fun () ->
-        correlation ?ctx ~bins (self_pairs d.D.observed))
+        correlation ~ctx ~bins (self_pairs d.D.observed))
   in
   let dr =
     Obs.span ~name:"kernel.tpacf.dr" (fun () ->
-        random_sets_correlation ?ctx ~bins
+        random_sets_correlation ~ctx ~bins
           (fun r -> correlation ~bins (cross_pairs d.D.observed r))
           d.D.randoms)
   in
   let rr =
     Obs.span ~name:"kernel.tpacf.rr" (fun () ->
-        random_sets_correlation ?ctx ~bins
+        random_sets_correlation ~ctx ~bins
           (fun r -> correlation ~bins (self_pairs r))
           d.D.randoms)
   in

@@ -167,8 +167,7 @@ let test_square_factors () =
 (* Plan reification over the real kernels                              *)
 
 let with_cluster f =
-  Triolet.Config.with_cluster
-    { Triolet_runtime.Cluster.nodes = 4; cores_per_node = 2; flat = false }
+  Triolet.Exec.with_context (Triolet.Exec.make ~nodes:(4) ~cores_per_node:(2) ())
     f
 
 let kernel_plans () =

@@ -20,8 +20,7 @@ let () = Unix.putenv "TRIOLET_BACKEND" ""
 let () = Triolet_runtime.Pool.set_default_width 2
 
 let () =
-  Config.set_cluster
-    { Triolet_runtime.Cluster.nodes = 3; cores_per_node = 2; flat = false }
+  Exec.set_ambient (Exec.make ~nodes:(3) ~cores_per_node:(2) ())
 
 (* ------------------------------------------------------------------ *)
 (* Stepper extras                                                      *)

@@ -264,6 +264,7 @@ let test_timeout_backoff () =
 (* Cluster under faults                                                *)
 
 let cfg nodes = { Cluster.nodes; cores_per_node = 1; flat = false }
+let ctx nodes = Triolet.Exec.make ~nodes ~cores_per_node:1 ()
 
 (* A distributed sum whose merge is order-sensitive enough to catch
    double or missing merges: each node contributes its id-tagged
@@ -505,13 +506,15 @@ let kernel_cases =
   ]
 
 let test_kernels_survive_fault_matrix () =
-  Triolet.Config.with_cluster (cfg 3) (fun () ->
+  Triolet.Exec.with_context (ctx 3) (fun () ->
       List.iter
         (fun (name, setup) ->
           let check = setup () in
           let ok, delta =
             Stats.measure (fun () ->
-                Triolet.Config.with_faults (acceptance_spec 42) check)
+                Triolet.Exec.with_context
+                  (Triolet.Exec.make ~faults:(Some (acceptance_spec 42)) ())
+                  check)
           in
           check_bool (name ^ " equals fault-free result") true ok;
           check_bool (name ^ " recovered from the crash") true
@@ -520,13 +523,15 @@ let test_kernels_survive_fault_matrix () =
         kernel_cases)
 
 let test_kernels_reproducible_under_seed () =
-  Triolet.Config.with_cluster (cfg 3) (fun () ->
+  Triolet.Exec.with_context (ctx 3) (fun () ->
       let name, setup = List.hd kernel_cases in
       ignore name;
       let check = setup () in
       let run () =
         Stats.measure (fun () ->
-            Triolet.Config.with_faults (acceptance_spec 7) check)
+            Triolet.Exec.with_context
+              (Triolet.Exec.make ~faults:(Some (acceptance_spec 7)) ())
+              check)
       in
       let ok1, d1 = run () in
       let ok2, d2 = run () in

@@ -20,7 +20,12 @@ let gen_cluster =
       (fun nodes cores flat -> { Cluster.nodes; cores_per_node = cores; flat })
       (int_range 1 6) (int_range 1 4) bool)
 
-let on cluster f = Config.with_cluster cluster f
+let ctx_of { Cluster.nodes; cores_per_node; flat } =
+  Exec.make ~nodes ~cores_per_node
+    ~backend:(if flat then Cluster.Flat else (Exec.default ()).Exec.backend)
+    ()
+
+let on cluster f = Exec.with_context (ctx_of cluster) f
 
 (* ------------------------------------------------------------------ *)
 (* Cluster-shape invariance of full kernels                            *)
@@ -95,7 +100,7 @@ let test_scatter_volume_tracks_input () =
   let xs = Float.Array.make n 1.5 in
   List.iter
     (fun nodes ->
-      Config.with_cluster { Cluster.nodes; cores_per_node = 2; flat = false }
+      Exec.with_context (Exec.make ~nodes ~cores_per_node:2 ())
         (fun () ->
           Stats.reset ();
           let _, d =
@@ -111,7 +116,7 @@ let test_scatter_volume_tracks_input () =
 let test_messages_scale_with_workers () =
   let xs = Float.Array.make 512 1.0 in
   let msgs cfg =
-    Config.with_cluster cfg (fun () ->
+    on cfg (fun () ->
         Stats.reset ();
         let _, d =
           Stats.measure (fun () -> Iter.sum (Iter.par (Iter.of_floatarray xs)))
@@ -127,7 +132,7 @@ let test_messages_scale_with_workers () =
 (* A full "user session": several consumers over one dataset           *)
 
 let test_user_session () =
-  Config.with_cluster { Cluster.nodes = 3; cores_per_node = 2; flat = false }
+  Exec.with_context (Exec.make ~nodes:(3) ~cores_per_node:(2) ())
     (fun () ->
       let n = 1000 in
       let xs = Float.Array.init n (fun i -> sin (float_of_int i)) in

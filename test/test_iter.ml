@@ -17,7 +17,14 @@ let qtest name gen prop =
 let () = Triolet_runtime.Pool.set_default_width 2
 
 let () =
-  Config.set_cluster { Cluster.nodes = 3; cores_per_node = 2; flat = false }
+  Exec.set_ambient (Exec.make ~nodes:(3) ~cores_per_node:(2) ())
+
+let on_cluster ~nodes ~cores_per_node ~flat f =
+  Exec.with_context
+    (Exec.make ~nodes ~cores_per_node
+       ~backend:(if flat then Cluster.Flat else (Exec.default ()).Exec.backend)
+       ())
+    f
 
 let fa_of_list l = Float.Array.of_list l
 
@@ -218,11 +225,11 @@ let test_empty_iterators () =
 let test_flat_mode_matches () =
   let xs = Float.Array.init 500 float_of_int in
   let tw =
-    Config.with_cluster { Cluster.nodes = 2; cores_per_node = 2; flat = false }
+    Exec.with_context (Exec.make ~nodes:(2) ~cores_per_node:(2) ())
       (fun () -> Iter.sum (Iter.par (Iter.of_floatarray xs)))
   in
   let fl =
-    Config.with_cluster { Cluster.nodes = 2; cores_per_node = 2; flat = true }
+    Exec.with_context (Exec.make ~nodes:(2) ~cores_per_node:(2) ~backend:Cluster.Flat ())
       (fun () -> Iter.sum (Iter.par (Iter.of_floatarray xs)))
   in
   check_float "two-level = flat result" tw fl
@@ -233,7 +240,7 @@ let test_flat_mode_sends_more_messages () =
     Stats.reset ();
     let _, d =
       Stats.measure (fun () ->
-          Config.with_cluster { Cluster.nodes = 4; cores_per_node = 4; flat }
+          on_cluster ~nodes:4 ~cores_per_node:4 ~flat
             (fun () -> Iter.sum (Iter.par (Iter.of_floatarray xs))))
     in
     d.Stats.messages
@@ -242,13 +249,13 @@ let test_flat_mode_sends_more_messages () =
   Alcotest.(check bool) "flat needs more messages" true (flat_msgs > two_msgs)
 
 let test_single_node_cluster () =
-  Config.with_cluster { Cluster.nodes = 1; cores_per_node = 2; flat = false }
+  Exec.with_context (Exec.make ~nodes:(1) ~cores_per_node:(2) ())
     (fun () ->
       check_float "sum" 4950.0
         (Iter.sum (Iter.par (Iter.map float_of_int (Iter.range 0 100)))))
 
 let test_more_nodes_than_elements () =
-  Config.with_cluster { Cluster.nodes = 3; cores_per_node = 2; flat = false }
+  Exec.with_context (Exec.make ~nodes:(3) ~cores_per_node:(2) ())
     (fun () ->
       check_int "tiny input" 1
         (Iter.sum_int (Iter.par (Iter.of_int_array [| 1 |]))))

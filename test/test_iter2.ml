@@ -15,7 +15,7 @@ let qtest name gen prop =
 let () = Triolet_runtime.Pool.set_default_width 2
 
 let () =
-  Config.set_cluster { Cluster.nodes = 4; cores_per_node = 2; flat = false }
+  Exec.set_ambient (Exec.make ~nodes:(4) ~cores_per_node:(2) ())
 
 let mk rows cols f = Matrix.init rows cols f
 

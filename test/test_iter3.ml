@@ -14,7 +14,7 @@ let qtest name gen prop =
 let () = Triolet_runtime.Pool.set_default_width 2
 
 let () =
-  Config.set_cluster { Cluster.nodes = 3; cores_per_node = 2; flat = false }
+  Exec.set_ambient (Exec.make ~nodes:(3) ~cores_per_node:(2) ())
 
 let with_hint3 h it =
   match h with
@@ -118,7 +118,7 @@ let test_iter3_slab_payload_volume () =
     && delta.Stats.bytes_sent < (2 * grid_bytes) + 2048)
 
 let test_iter3_more_nodes_than_slabs () =
-  Config.with_cluster { Cluster.nodes = 5; cores_per_node = 2; flat = false }
+  Exec.with_context (Exec.make ~nodes:(5) ~cores_per_node:(2) ())
     (fun () ->
       let g = Grid3.init 2 2 3 (fun x _ _ -> float_of_int x) in
       Alcotest.(check (float 1e-9)) "tiny grid" (Grid3.total g)

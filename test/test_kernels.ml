@@ -10,7 +10,7 @@ module Cluster = Triolet_runtime.Cluster
 let () = Triolet_runtime.Pool.set_default_width 2
 
 let () =
-  Config.set_cluster { Cluster.nodes = 3; cores_per_node = 2; flat = false }
+  Exec.set_ambient (Exec.make ~nodes:(3) ~cores_per_node:(2) ())
 
 let qtest name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen prop)
@@ -119,7 +119,7 @@ let test_tpacf_bin_function () =
 let test_tpacf_flat_cluster () =
   let d = Dataset.tpacf ~seed:34 ~points:20 ~random_sets:2 in
   let c = Tpacf.run_c ~bins:8 d in
-  Config.with_cluster { Cluster.nodes = 2; cores_per_node = 2; flat = true }
+  Exec.with_context (Exec.make ~nodes:(2) ~cores_per_node:(2) ~backend:Cluster.Flat ())
     (fun () ->
       Alcotest.(check bool) "flat mode agrees" true
         (Tpacf.agrees c (Tpacf.run_triolet ~bins:8 d)))
@@ -259,7 +259,7 @@ let test_mriq_pair_packing_order () =
 
 let test_sgemm_three_node_grid () =
   (* 3 nodes force a degenerate 1x3 block grid. *)
-  Config.with_cluster { Cluster.nodes = 3; cores_per_node = 1; flat = false }
+  Exec.with_context (Exec.make ~nodes:(3) ~cores_per_node:(1) ())
     (fun () ->
       let a, b = Dataset.sgemm_matrices ~seed:25 ~m:10 ~k:6 ~n:9 in
       Alcotest.(check bool) "1x3 grid" true
@@ -267,7 +267,7 @@ let test_sgemm_three_node_grid () =
 
 let test_cutcp_flat_cluster () =
   let c = small_cutcp 46 in
-  Config.with_cluster { Cluster.nodes = 2; cores_per_node = 3; flat = true }
+  Exec.with_context (Exec.make ~nodes:(2) ~cores_per_node:(3) ~backend:Cluster.Flat ())
     (fun () ->
       Alcotest.(check bool) "flat mode" true
         (Cutcp.agrees ~eps:1e-9 (Cutcp.run_c c) (Cutcp.run_triolet c)))

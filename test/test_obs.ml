@@ -285,8 +285,7 @@ let test_stats_hammer () =
 (* Recovery timing: monotonic, hence non-negative                      *)
 
 let test_recovery_ns_nonnegative () =
-  Triolet.Config.set_cluster
-    { Cluster.nodes = 3; cores_per_node = 1; flat = false };
+  Triolet.Exec.set_ambient (Triolet.Exec.make ~nodes:(3) ~cores_per_node:(1) ());
   let n = 3000 in
   let xs = Float.Array.init n float_of_int in
   let spec =
@@ -296,7 +295,8 @@ let test_recovery_ns_nonnegative () =
   in
   Stats.reset ();
   let sum =
-    Triolet.Config.with_faults spec (fun () ->
+    Triolet.Exec.with_context (Triolet.Exec.make ~faults:(Some spec) ())
+      (fun () ->
         Triolet.Iter.sum (Triolet.Iter.par (Triolet.Iter.of_floatarray xs)))
   in
   let s = Stats.snapshot () in
